@@ -1,0 +1,49 @@
+//! Criterion benchmark of whole NeSSA pipeline epochs at reproduction
+//! scale, against the full-data trainer on the same dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nessa_core::{run_policy, NessaConfig, Policy};
+use nessa_data::SynthConfig;
+use nessa_nn::models::mlp;
+use nessa_tensor::rng::Rng64;
+use std::hint::black_box;
+
+fn data() -> (nessa_data::Dataset, nessa_data::Dataset) {
+    SynthConfig {
+        train: 500,
+        test: 100,
+        dim: 16,
+        classes: 5,
+        ..SynthConfig::default()
+    }
+    .generate()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let (train, test) = data();
+    let builder = |rng: &mut Rng64| mlp(&[16, 32, 5], rng);
+    let mut group = c.benchmark_group("three_epochs");
+    group.sample_size(10);
+    group.bench_function("nessa_30pct", |b| {
+        b.iter(|| {
+            black_box(run_policy(
+                &Policy::Nessa(NessaConfig::new(0.3, 3)),
+                &train,
+                &test,
+                3,
+                32,
+                0,
+                &builder,
+            ))
+        })
+    });
+    group.bench_function("full_data", |b| {
+        b.iter(|| {
+            black_box(run_policy(&Policy::Goal, &train, &test, 3, 32, 0, &builder))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

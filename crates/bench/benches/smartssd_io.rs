@@ -1,0 +1,43 @@
+//! Criterion microbenchmarks of the SmartSSD simulator itself (the
+//! simulator must be cheap enough to sit inside every training epoch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nessa_smartssd::fpga::KernelProfile;
+use nessa_smartssd::{SmartSsd, SmartSsdConfig};
+use std::hint::black_box;
+
+fn bench_device_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smartssd_phases");
+    for &records in &[1_000u64, 50_000] {
+        group.bench_with_input(
+            BenchmarkId::new("read_records_to_fpga", records),
+            &records,
+            |b, &records| {
+                b.iter(|| {
+                    let mut dev = SmartSsd::new(SmartSsdConfig::default());
+                    black_box(dev.read_records_to_fpga(records, 3000))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernel_pricing(c: &mut Criterion) {
+    let profile = KernelProfile {
+        samples: 50_000,
+        forward_macs_per_sample: 640,
+        proxy_dim: 10,
+        chunk: 457,
+        k_per_chunk: 128,
+    };
+    c.bench_function("kernel_profile_pricing", |b| {
+        b.iter(|| {
+            let mut dev = SmartSsd::new(SmartSsdConfig::default());
+            black_box(dev.run_selection(black_box(&profile)).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_device_phases, bench_kernel_pricing);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Difficulty-calibration check: trains the Goal policy on each Table-1
+//! stand-in exactly as table2 does and prints measured vs target full-data
+//! accuracy, so the catalog's difficulty knobs can be tuned.
+//!
+//! Not part of the paper's evaluation; a maintenance tool.
+//! Run with `cargo run --release -p nessa-bench --bin calibrate`.
+
+use nessa_bench::{run_scaled, scaled_dataset, EPOCHS, SEED};
+use nessa_core::Policy;
+use nessa_data::DatasetSpec;
+
+fn main() {
+    for spec in DatasetSpec::table1() {
+        let target = spec.paper.expect("table 2 row").all_data_acc;
+        let (train, test) = scaled_dataset(&spec, SEED);
+        let r = run_scaled(&Policy::Goal, &train, &test, EPOCHS, SEED);
+        println!(
+            "{:<14} goal {:>6.2} %  target {:>6.2} %  (delta {:+.2})",
+            spec.name,
+            100.0 * r.best_accuracy(),
+            target,
+            100.0 * r.best_accuracy() - target
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 1: training time per epoch on ImageNet-1k for each model
+//! generation, NVIDIA A100.
+//!
+//! Regenerate with `cargo run --release -p nessa-bench --bin fig1`.
+
+use nessa_bench::rule;
+use nessa_nn::cost::DeviceSpec;
+use nessa_nn::zoo::imagenet_models;
+
+fn main() {
+    let device = DeviceSpec::a100();
+    println!("Figure 1: per-epoch ImageNet-1k training time ({})", device.name);
+    rule(66);
+    println!(
+        "{:<18} {:>6} {:>12} {:>12} {:>12}",
+        "Model", "Year", "GFLOPs/img", "Params (M)", "Epoch (min)"
+    );
+    rule(66);
+    for m in imagenet_models() {
+        let t = m.imagenet_epoch_time(&device);
+        println!(
+            "{:<18} {:>6} {:>12.1} {:>12.1} {:>12.1}",
+            m.name,
+            m.year,
+            m.forward_flops as f64 / 1e9,
+            m.params as f64 / 1e6,
+            t.total_s() / 60.0
+        );
+    }
+    rule(66);
+    let zoo = imagenet_models();
+    let first = zoo.first().unwrap().imagenet_epoch_time(&device).total_s();
+    let last = zoo.last().unwrap().imagenet_epoch_time(&device).total_s();
+    println!(
+        "Growth 2012→2021: {:.1}x per-epoch time (paper: exponential rise)",
+        last / first
+    );
+}

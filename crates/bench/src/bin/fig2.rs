@@ -1,0 +1,54 @@
+//! Figure 2: share of training time spent on data movement, NVIDIA V100.
+//!
+//! Profiles MNIST, CIFAR-10, CIFAR-100 and ImageNet-100 exactly as the
+//! paper's §1 experiment: a fixed reference training workload fed by the
+//! conventional loader, with the per-image byte footprint varying by
+//! dataset. Paper endpoints: MNIST 5.4 %, ImageNet-100 40.4 %.
+//!
+//! Regenerate with `cargo run --release -p nessa-bench --bin fig2`.
+
+use nessa_bench::rule;
+use nessa_data::DatasetSpec;
+use nessa_nn::cost::{epoch_time, DeviceSpec, LoaderSpec};
+
+/// ResNet-18-class reference workload (forward+backward FLOPs/sample).
+const REF_TRAIN_FLOPS: u64 = 3 * 825_000_000;
+
+fn main() {
+    let device = DeviceSpec::v100();
+    let loader = LoaderSpec::conventional_host();
+    println!(
+        "Figure 2: time distribution of training ({} + conventional loader)",
+        device.name
+    );
+    rule(72);
+    println!(
+        "{:<14} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "Dataset", "Images", "KB/image", "Compute (s)", "Data-mv (s)", "Data-mv %"
+    );
+    rule(72);
+    let mut specs = vec![DatasetSpec::mnist()];
+    for name in ["CIFAR-10", "CIFAR-100", "ImageNet-100"] {
+        specs.push(DatasetSpec::by_name(name).expect("catalog entry"));
+    }
+    for spec in &specs {
+        let t = epoch_time(
+            &device,
+            &loader,
+            spec.train_size as u64,
+            REF_TRAIN_FLOPS,
+            spec.bytes_per_image as u64,
+        );
+        println!(
+            "{:<14} {:>8} {:>10.1} {:>12.1} {:>12.1} {:>10.1}",
+            spec.name,
+            spec.train_size,
+            spec.bytes_per_image as f64 / 1000.0,
+            t.compute_s,
+            t.io_s,
+            100.0 * t.io_fraction()
+        );
+    }
+    rule(72);
+    println!("Paper endpoints: MNIST 5.4 %, ImageNet-100 40.4 %.");
+}

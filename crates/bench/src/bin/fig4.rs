@@ -1,0 +1,54 @@
+//! Figure 4: training time per epoch for NeSSA, CPU CRAIG, CPU K-Centers
+//! and a model trained on the full dataset (CIFAR-10, ResNet-20, V100).
+//!
+//! Regenerate with `cargo run --release -p nessa-bench --bin fig4`.
+
+use nessa_bench::rule;
+use nessa_core::timing::{craig_cpu_epoch, goal_epoch, kcenters_cpu_epoch, nessa_epoch, Workload};
+use nessa_data::DatasetSpec;
+use nessa_nn::cost::DeviceSpec;
+
+fn main() {
+    let spec = DatasetSpec::by_name("CIFAR-10").expect("catalog entry");
+    let fraction = spec.paper.expect("table 2 row").subset_pct as f64 / 100.0;
+    let w = Workload::from_spec(&spec);
+    let gpu = DeviceSpec::v100();
+    println!(
+        "Figure 4: per-epoch training time, {} / {} / {} (subset {:.0} %)",
+        spec.name,
+        spec.model.name(),
+        gpu.name,
+        100.0 * fraction
+    );
+    rule(66);
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "Policy", "Data-mv (s)", "Select (s)", "Train (s)", "Total (s)"
+    );
+    rule(66);
+    let rows = [
+        ("NeSSA", nessa_epoch(&w, &gpu, fraction)),
+        ("CRAIG", craig_cpu_epoch(&w, &gpu, fraction)),
+        ("K-Centers", kcenters_cpu_epoch(&w, &gpu, fraction)),
+        ("Full data", goal_epoch(&w, &gpu)),
+    ];
+    for (name, t) in &rows {
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            name,
+            t.data_move_s,
+            t.select_s,
+            t.train_s,
+            t.total_s()
+        );
+    }
+    rule(66);
+    let nessa = rows[0].1.total_s();
+    println!(
+        "Per-epoch speed-ups vs NeSSA: CRAIG {:.1}x, K-Centers {:.1}x, full {:.1}x",
+        rows[1].1.total_s() / nessa,
+        rows[2].1.total_s() / nessa,
+        rows[3].1.total_s() / nessa
+    );
+    println!("(paper, end-to-end incl. convergence: 4.3x, 8.1x, 5.37x)");
+}

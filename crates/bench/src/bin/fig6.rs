@@ -1,0 +1,35 @@
+//! Figure 6: data-transfer throughput between the FPGA and the on-board
+//! SSD versus per-image size (batch 128, average of reads/writes).
+//!
+//! Paper reference points: CIFAR-10 (3 KB images) 1.46 GB/s;
+//! ImageNet-100 (126 KB images) 2.28 GB/s.
+//!
+//! Regenerate with `cargo run --release -p nessa-bench --bin fig6`.
+
+use nessa_bench::rule;
+use nessa_data::DatasetSpec;
+use nessa_smartssd::LinkModel;
+
+fn main() {
+    let p2p = LinkModel::p2p();
+    let batch = 128u64;
+    println!("Figure 6: FPGA <-> on-board SSD transfer throughput (batch {batch})");
+    rule(56);
+    println!("{:<16} {:>10} {:>14} {:>12}", "Dataset", "KB/image", "Batch (KB)", "GB/s");
+    rule(56);
+    let mut specs = vec![DatasetSpec::mnist()];
+    specs.extend(DatasetSpec::table1());
+    for spec in &specs {
+        let bytes = spec.bytes_per_image as u64;
+        let gbps = p2p.effective_bytes_per_s(batch, bytes) / 1e9;
+        println!(
+            "{:<16} {:>10.1} {:>14.0} {:>12.2}",
+            spec.name,
+            bytes as f64 / 1000.0,
+            (batch * bytes) as f64 / 1000.0,
+            gbps
+        );
+    }
+    rule(56);
+    println!("Paper: CIFAR-10 1.46 GB/s, ImageNet-100 2.28 GB/s (3 GB/s theoretical).");
+}

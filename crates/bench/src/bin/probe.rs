@@ -1,0 +1,29 @@
+//! Maintenance probe: difficulty-ratio sweep per dataset.
+//! Run with `cargo run --release -p nessa-bench --bin probe`.
+use nessa_bench::{run_scaled, EPOCHS, SEED};
+use nessa_core::Policy;
+use nessa_data::DatasetSpec;
+
+fn main() {
+    let ratios: &[(&str, &[f32])] = &[
+        ("CIFAR-10", &[1.1, 1.3]),
+        ("CINIC-10", &[1.5, 1.9]),
+        ("CIFAR-100", &[1.5, 1.9, 2.3]),
+        ("TinyImageNet", &[1.7, 2.1, 2.5]),
+        ("ImageNet-100", &[1.2, 1.5]),
+    ];
+    for (name, rs) in ratios {
+        let spec = DatasetSpec::by_name(name).unwrap();
+        let target = spec.paper.unwrap().all_data_acc;
+        for &r in rs.iter() {
+            let mut cfg = spec.scaled_config(SEED);
+            cfg.cluster_std = cfg.class_sep * r;
+            let (tr, te) = cfg.generate();
+            let g = run_scaled(&Policy::Goal, &tr, &te, EPOCHS, SEED);
+            println!(
+                "{name:<14} ratio {r:.1} -> goal {:>6.2} (target {target:.2})",
+                100.0 * g.best_accuracy()
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Future-work extension (paper §5: "scaling over multiple SmartSSDs and
+//! GPUs"): how NeSSA's near-storage phases scale when the dataset is
+//! sharded across a fleet of drives, using the GreeDi two-round selection
+//! of `nessa-select`.
+//!
+//! Regenerate with `cargo run --release -p nessa-bench --bin scaling`.
+
+use nessa_bench::rule;
+use nessa_core::timing::Workload;
+use nessa_data::DatasetSpec;
+use nessa_smartssd::cluster::SsdCluster;
+use nessa_smartssd::fpga::KernelProfile;
+use nessa_smartssd::SmartSsdConfig;
+
+fn main() {
+    let spec = DatasetSpec::by_name("ImageNet-100").expect("catalog entry");
+    let w = Workload::from_spec(&spec);
+    let fraction = 0.28f64;
+    let subset = (w.samples as f64 * fraction).ceil() as u64;
+    println!(
+        "Scaling study: {} ({} records × {} KB) at a {:.0} % subset",
+        spec.name,
+        w.samples,
+        w.bytes_per_sample / 1000,
+        100.0 * fraction
+    );
+    rule(78);
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "Drives", "Scan (s)", "Select(s)", "Gather(s)", "Total (s)", "Speedup", "Energy(J)"
+    );
+    rule(78);
+    let mut baseline = None;
+    for drives in [1usize, 2, 4, 8] {
+        let mut cluster = SsdCluster::new(drives, SmartSsdConfig::default());
+        let scan = cluster.parallel_scan(w.samples, w.bytes_per_sample);
+        let chunk = KernelProfile::max_chunk_for(
+            &SmartSsdConfig::default().fpga,
+            w.classes,
+        )
+        .min(457);
+        let profile = KernelProfile {
+            samples: w.samples,
+            forward_macs_per_sample: (w.feature_dim * w.classes) as u64,
+            proxy_dim: w.classes,
+            chunk,
+            k_per_chunk: 128,
+        };
+        let select = cluster.parallel_select(&profile).expect("chunk fits");
+        // GreeDi round 1→2: each drive ships its local picks (subset/drives),
+        // the merged subset then goes to the GPU (charged to drive 0's link).
+        let gather = cluster.gather_selections(subset / drives as u64, w.bytes_per_sample);
+        let feedback = cluster.broadcast_feedback(25_600_000 / 4);
+        let total = scan + select + gather + feedback;
+        let speedup = *baseline.get_or_insert(total) / total;
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>11.2}x {:>10.1}",
+            drives,
+            scan,
+            select,
+            gather,
+            total,
+            speedup,
+            cluster.energy_joules()
+        );
+    }
+    rule(78);
+    println!("Scan and select scale with drives; gather/feedback share the host link.");
+}

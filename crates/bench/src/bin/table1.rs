@@ -1,0 +1,32 @@
+//! Table 1: dataset overview — the catalog as the paper prints it, plus
+//! the scaled stand-in each accuracy experiment actually trains on.
+//!
+//! Regenerate with `cargo run --release -p nessa-bench --bin table1`.
+
+use nessa_bench::{rule, SEED};
+use nessa_data::DatasetSpec;
+
+fn main() {
+    println!("Table 1: dataset overview");
+    rule(86);
+    println!(
+        "{:<14} {:>7} {:>9} {:<10} | {:>11} {:>9} {:>6}",
+        "Dataset", "Classes", "Train", "Network", "Scaled train", "Test", "Dim"
+    );
+    rule(86);
+    for spec in DatasetSpec::table1() {
+        let cfg = spec.scaled_config(SEED);
+        println!(
+            "{:<14} {:>7} {:>9} {:<10} | {:>11} {:>9} {:>6}",
+            spec.name,
+            spec.classes,
+            spec.train_size,
+            spec.model.name(),
+            cfg.train,
+            cfg.test,
+            cfg.dim
+        );
+    }
+    rule(86);
+    println!("Left: the paper's Table 1. Right: the synthetic stand-in (DESIGN.md §2).");
+}

@@ -1,0 +1,63 @@
+//! Table 3: ablation of NeSSA's optimizations vs CRAIG and K-Centers at
+//! 10/30/50 % subsets on the CIFAR-10 stand-in.
+//!
+//! Columns follow the paper: Vanilla (NeSSA without subset biasing or
+//! partitioning), SB, PA, SB+PA, CRAIG, K-Centers, and Goal (full data).
+//!
+//! Regenerate with `cargo run --release -p nessa-bench --bin table3`.
+
+use nessa_bench::{run_scaled, rule, scaled_dataset, EPOCHS, SEED};
+use nessa_core::{NessaConfig, Policy};
+use nessa_data::DatasetSpec;
+
+fn nessa_policy(fraction: f32, sb: bool, pa: bool) -> Policy {
+    let cfg = NessaConfig::new(fraction, EPOCHS)
+        .with_subset_biasing(sb)
+        .with_partitioning(pa);
+    Policy::Nessa(cfg)
+}
+
+fn main() {
+    let spec = DatasetSpec::by_name("CIFAR-10").expect("catalog entry");
+    let (train, test) = scaled_dataset(&spec, SEED);
+    println!(
+        "Table 3: optimization ablation on {} stand-in ({} train, {EPOCHS} epochs)",
+        spec.name,
+        train.len()
+    );
+    let goal = run_scaled(&Policy::Goal, &train, &test, EPOCHS, SEED);
+    rule(88);
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "Subset%", "Vanilla", "SB", "PA", "SB+PA", "CRAIG", "K-Centers", "Goal"
+    );
+    rule(88);
+    for fraction in [0.10f32, 0.30, 0.50] {
+        let row: Vec<f32> = [
+            nessa_policy(fraction, false, false),
+            nessa_policy(fraction, true, false),
+            nessa_policy(fraction, false, true),
+            nessa_policy(fraction, true, true),
+            Policy::Craig { fraction },
+            Policy::KCenters { fraction },
+        ]
+        .iter()
+        .map(|p| 100.0 * run_scaled(p, &train, &test, EPOCHS, SEED).best_accuracy())
+        .collect();
+        println!(
+            "{:>8.0} {:>10.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>10.2} {:>8.2}",
+            100.0 * fraction,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            row[5],
+            100.0 * goal.best_accuracy()
+        );
+    }
+    rule(88);
+    println!("Paper row at 10%:  82.76  87.61  83.56  87.75  87.07  65.72  92.44");
+    println!("Paper row at 30%:  89.51  90.42  90.68  90.49  89.12  88.49  92.44");
+    println!("Paper row at 50%:  90.59  91.89  91.81  91.92  90.32  90.14  92.44");
+}

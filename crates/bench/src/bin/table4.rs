@@ -1,0 +1,21 @@
+//! Table 4: KU15P resource utilization of the selection kernel.
+//!
+//! Regenerate with `cargo run --release -p nessa-bench --bin table4`.
+
+use nessa_bench::rule;
+use nessa_smartssd::resources::{KernelResourceConfig, ResourceReport};
+
+fn main() {
+    let cfg = KernelResourceConfig::cifar10();
+    let report = ResourceReport::for_kernel(&cfg);
+    println!("Table 4: resource utilization (CIFAR-10 selection kernel)");
+    rule(34);
+    println!("{report}");
+    rule(34);
+    let (lut, ff, bram, dsp) = report.utilization_pct();
+    println!("Paper:      LUT 67.53  FF 23.14  BRAM 50.30  DSP 42.67");
+    println!(
+        "Measured:   LUT {lut:>5.2}  FF {ff:>5.2}  BRAM {bram:>5.2}  DSP {dsp:>5.2}"
+    );
+    assert!(report.fits(), "kernel must fit the KU15P");
+}

@@ -1,0 +1,121 @@
+//! Shared experiment drivers for the benchmark harness.
+//!
+//! One binary per table/figure of the paper regenerates its rows/series
+//! (`cargo run --release -p nessa-bench --bin <table2|table3|table4|fig1|
+//! fig2|fig4|fig5|fig6|speedup|movement|ablation>`); the Criterion benches
+//! (`cargo bench`) cover the kernels. This library holds the pieces those
+//! binaries share: the scaled dataset builder, the standard model shape,
+//! and printing helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nessa_core::{run_policy, Policy, RunReport};
+use nessa_data::{Dataset, DatasetSpec};
+use nessa_nn::models::{mlp, Network};
+use nessa_tensor::rng::Rng64;
+
+/// Epochs used by the scaled accuracy experiments (the paper's 200-epoch
+/// schedule is rescaled proportionally by `MultiStepLr::paper_schedule`).
+pub const EPOCHS: usize = 40;
+
+/// Batch size for the scaled experiments (paper: 128; scaled pools are
+/// 25× smaller, so 32 keeps the same batches-per-epoch regime).
+pub const BATCH: usize = 32;
+
+/// Master seed for every experiment binary.
+pub const SEED: u64 = 2023;
+
+/// Generates the scaled synthetic stand-in for a Table-1 dataset.
+pub fn scaled_dataset(spec: &DatasetSpec, seed: u64) -> (Dataset, Dataset) {
+    spec.scaled_config(seed).generate()
+}
+
+/// The standard classifier for a scaled dataset: a two-layer MLP whose
+/// hidden width grows with the class count (the scaled stand-in for the
+/// paper's per-dataset ResNets; see DESIGN.md §2).
+pub fn model_builder(dim: usize, classes: usize) -> impl Fn(&mut Rng64) -> Network {
+    let hidden = if classes >= 100 { 160 } else { 96 };
+    move |rng: &mut Rng64| mlp(&[dim, hidden, classes], rng)
+}
+
+/// Runs one policy on a scaled dataset with the standard settings.
+pub fn run_scaled(
+    policy: &Policy,
+    train: &Dataset,
+    test: &Dataset,
+    epochs: usize,
+    seed: u64,
+) -> RunReport {
+    let builder = model_builder(train.dim(), train.classes());
+    run_policy(policy, train, test, epochs, BATCH, seed, &builder)
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f32) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+/// Prints a rule line of the given width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Renders a unicode sparkline of a series, scaled to its own min/max
+/// (flat series render as a run of mid-level blocks).
+pub fn sparkline(values: &[f32]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let span = (max - min).max(1e-9);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_datasets_generate_for_all_specs() {
+        for spec in DatasetSpec::table1() {
+            let (train, test) = scaled_dataset(&spec, 1);
+            assert!(!train.is_empty() && !test.is_empty(), "{}", spec.name);
+            assert_eq!(train.classes(), spec.classes);
+        }
+    }
+
+    #[test]
+    fn quick_policy_run_works_at_tiny_scale() {
+        let spec = DatasetSpec::by_name("CIFAR-10").unwrap();
+        let mut cfg = spec.scaled_config(0);
+        cfg.train = 150;
+        cfg.test = 60;
+        let (train, test) = cfg.generate();
+        let report = run_scaled(&Policy::Goal, &train, &test, 3, 0);
+        assert_eq!(report.epochs.len(), 3);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9017), "90.17");
+    }
+
+    #[test]
+    fn sparkline_scales_and_handles_edges() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        let flat = sparkline(&[0.7, 0.7]);
+        assert_eq!(flat.chars().count(), 2);
+    }
+}

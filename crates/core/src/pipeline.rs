@@ -1,0 +1,356 @@
+//! The NeSSA near-storage training pipeline (paper §3, Figure 3).
+
+use crate::biasing::LossTracker;
+use crate::config::NessaConfig;
+use crate::proxy::gradient_proxies;
+use crate::report::{EpochRecord, RunReport};
+use crate::sizing::SubsetSizer;
+use crate::trainer::{evaluate, train_epoch};
+use nessa_data::Dataset;
+use nessa_nn::models::Network;
+use nessa_nn::optim::{MultiStepLr, Sgd, SgdConfig};
+use nessa_quant::QuantizedModel;
+use nessa_select::craig::{select_per_class_factored, CraigOptions};
+use nessa_select::Selection;
+use nessa_smartssd::fpga::KernelProfile;
+use nessa_smartssd::{SmartSsd, SmartSsdConfig};
+use nessa_tensor::rng::Rng64;
+
+/// The assembled SmartSSD+GPU training loop.
+///
+/// The pipeline owns the **target model** (trained on the GPU side), the
+/// **selector model** (the structurally-identical network whose weights
+/// live on the FPGA as int8), the simulated [`SmartSsd`], and the train /
+/// test datasets.
+///
+/// Each epoch follows the paper's five steps: P2P-read the candidate pool
+/// to the FPGA, run the selection kernel (quantized forward → gradient
+/// proxies → per-class, chunk-partitioned facility location), ship the
+/// subset to the GPU, train, and feed quantized weights back. Subset
+/// biasing prunes the pool every [`NessaConfig::biasing_drop_every`]
+/// epochs; dynamic sizing shrinks the subset fraction when the loss
+/// plateaus.
+pub struct NessaPipeline {
+    config: NessaConfig,
+    target: Network,
+    selector: Network,
+    train: Dataset,
+    test: Dataset,
+    device: SmartSsd,
+}
+
+impl NessaPipeline {
+    /// Creates a pipeline.
+    ///
+    /// `target` and `selector` must be structurally identical networks
+    /// (the selector is the FPGA-side copy refreshed by the feedback
+    /// loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two networks have different parameter structures or
+    /// the datasets disagree on feature dimension / class count.
+    pub fn new(
+        config: NessaConfig,
+        mut target: Network,
+        mut selector: Network,
+        train: Dataset,
+        test: Dataset,
+    ) -> Self {
+        let t_shapes: Vec<_> = target
+            .export_weights()
+            .iter()
+            .map(|w| w.shape().dims().to_vec())
+            .collect();
+        let s_shapes: Vec<_> = selector
+            .export_weights()
+            .iter()
+            .map(|w| w.shape().dims().to_vec())
+            .collect();
+        assert_eq!(t_shapes, s_shapes, "target and selector must share structure");
+        assert_eq!(train.dim(), test.dim(), "train/test feature dims differ");
+        assert_eq!(train.classes(), test.classes(), "train/test classes differ");
+        Self {
+            config,
+            target,
+            selector,
+            train,
+            test,
+            device: SmartSsd::new(SmartSsdConfig::default()),
+        }
+    }
+
+    /// Runs the full training loop and returns the report.
+    pub fn run(&mut self) -> RunReport {
+        let cfg = self.config.clone();
+        let n = self.train.len();
+        let mut rng = Rng64::new(cfg.seed);
+        let mut opt = Sgd::new(SgdConfig::default());
+        let schedule = MultiStepLr::paper_schedule(cfg.epochs);
+        let mut tracker = LossTracker::new(
+            n,
+            cfg.biasing_window,
+            cfg.biasing_drop_every,
+            cfg.biasing_drop_fraction,
+            ((n as f32) * cfg.biasing_min_pool) as usize,
+        );
+        let mut sizer = SubsetSizer::new(
+            cfg.subset_fraction,
+            cfg.sizing_threshold,
+            cfg.sizing_factor,
+            cfg.sizing_min_fraction.min(cfg.subset_fraction),
+        );
+        // Initialize the FPGA's selector with a quantized snapshot of the
+        // (randomly initialized) target, as the system would at deployment.
+        QuantizedModel::from_network(&mut self.target).apply_to(&mut self.selector);
+        let mut selection = Selection::default();
+        let mut report = RunReport {
+            name: "nessa".into(),
+            train_size: n,
+            ..RunReport::default()
+        };
+        let mut fraction = cfg.subset_fraction;
+        for epoch in 0..cfg.epochs {
+            let lr = schedule.lr_at(epoch);
+            let mut select_secs = 0.0;
+            let mut io_secs = 0.0;
+            if epoch % cfg.select_every == 0 || selection.is_empty() {
+                let pool: Vec<usize> = if cfg.subset_biasing {
+                    tracker.active_pool().to_vec()
+                } else {
+                    (0..n).collect()
+                };
+                // (1) Stream the candidate pool from flash to the FPGA.
+                io_secs += self
+                    .device
+                    .read_records_to_fpga(pool.len() as u64, self.train.bytes_per_sample() as u64);
+                // (2) Quantized forward pass → last-layer gradient proxies
+                // (outer-product space, compared via the factored distance
+                // so nothing of size classes × features is materialized).
+                let proxies =
+                    gradient_proxies(&mut self.selector, &self.train, &pool, cfg.batch_size);
+                let feature_dim = proxies.features.dim(1);
+                let pool_labels: Vec<usize> =
+                    pool.iter().map(|&i| self.train.label(i)).collect();
+                let chunk = cfg.partitioning.then(|| cfg.partition_chunk(fraction));
+                let opts = CraigOptions {
+                    variant: cfg.greedy,
+                    partition_chunk: chunk,
+                    threads: cfg.threads,
+                };
+                let mut local = select_per_class_factored(
+                    &proxies.residuals,
+                    &proxies.features,
+                    &pool_labels,
+                    self.train.classes(),
+                    fraction,
+                    &opts,
+                    &mut rng,
+                );
+                // Temper the medoid weights (see NessaConfig::weight_temper).
+                for w in &mut local.weights {
+                    *w = w.powf(cfg.weight_temper);
+                }
+                selection = local.into_global(&pool);
+                // Charge the kernel's simulated time.
+                // The kernel compares outer-product gradients through the
+                // ‖a‖²‖b‖² − 2(a·a')(b·b') factorization, so its per-pair
+                // cost scales with classes + feature_dim, not the product.
+                let profile = KernelProfile {
+                    samples: pool.len() as u64,
+                    forward_macs_per_sample: self.selector.flops_per_sample() / 2,
+                    proxy_dim: self.train.classes() + feature_dim,
+                    chunk: chunk.unwrap_or_else(|| {
+                        // Without partitioning the kernel tiles at the
+                        // largest class size.
+                        pool_labels
+                            .iter()
+                            .fold(vec![0usize; self.train.classes()], |mut acc, &y| {
+                                acc[y] += 1;
+                                acc
+                            })
+                            .into_iter()
+                            .max()
+                            .unwrap_or(1)
+                    }),
+                    k_per_chunk: cfg.batch_size,
+                };
+                select_secs += self
+                    .device
+                    .run_selection(&profile)
+                    .expect("selection chunk exceeds FPGA on-chip memory; enable partitioning");
+                // (3) Ship the subset to the GPU.
+                io_secs += self.device.send_subset_to_host(
+                    selection.len() as u64,
+                    self.train.bytes_per_sample() as u64,
+                );
+            }
+            // (4) Train the target model on the subset.
+            let outcome = train_epoch(
+                &mut self.target,
+                &mut opt,
+                &self.train,
+                &selection.indices,
+                &selection.weights,
+                cfg.batch_size,
+                lr,
+                &mut rng,
+            );
+            // Feedback: quantize weights, send to FPGA, refresh selector.
+            if cfg.feedback {
+                let snap = QuantizedModel::from_network(&mut self.target);
+                io_secs += self.device.receive_feedback(snap.payload_bytes() as u64);
+                snap.apply_to(&mut self.selector);
+            }
+            // Subset biasing: record subset losses; prune on schedule.
+            if cfg.subset_biasing {
+                tracker.record_epoch(&selection.indices, &outcome.per_sample_losses);
+                // Selection indices may have been pruned from the pool; the
+                // next selection round re-selects from the surviving pool.
+            }
+            if cfg.dynamic_sizing {
+                fraction = sizer.observe(outcome.mean_loss);
+            }
+            let test_acc = evaluate(&mut self.target, &self.test, cfg.batch_size);
+            report.epochs.push(EpochRecord {
+                epoch,
+                lr,
+                subset_size: selection.len(),
+                pool_size: if cfg.subset_biasing {
+                    tracker.active_pool().len()
+                } else {
+                    n
+                },
+                train_loss: outcome.mean_loss,
+                test_acc,
+                select_secs,
+                io_secs,
+            });
+        }
+        report.traffic = self.device.traffic();
+        report.device_energy_j = self.device.energy().total_joules();
+        report
+    }
+
+    /// The trained target network (for inspection after [`run`]).
+    ///
+    /// [`run`]: NessaPipeline::run
+    pub fn target_mut(&mut self) -> &mut Network {
+        &mut self.target
+    }
+
+    /// The simulated device (traffic/energy counters).
+    pub fn device(&self) -> &SmartSsd {
+        &self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nessa_data::SynthConfig;
+    use nessa_nn::models::mlp;
+
+    fn small_setup(cfg: &NessaConfig) -> NessaPipeline {
+        let synth = SynthConfig {
+            train: 300,
+            test: 120,
+            dim: 8,
+            classes: 3,
+            cluster_std: 0.6,
+            class_sep: 3.5,
+            ..SynthConfig::default()
+        };
+        let (train, test) = synth.generate();
+        let mut rng = Rng64::new(cfg.seed);
+        let target = mlp(&[8, 24, 3], &mut rng);
+        let selector = mlp(&[8, 24, 3], &mut rng);
+        NessaPipeline::new(cfg.clone(), target, selector, train, test)
+    }
+
+    #[test]
+    fn pipeline_trains_to_reasonable_accuracy() {
+        let cfg = NessaConfig::new(0.3, 15).with_batch_size(32).with_seed(0);
+        let mut p = small_setup(&cfg);
+        let report = p.run();
+        assert_eq!(report.epochs.len(), 15);
+        assert!(
+            report.final_accuracy() > 0.75,
+            "accuracy {}",
+            report.final_accuracy()
+        );
+        // Subset stays near the requested fraction.
+        let pct = report.mean_subset_pct();
+        assert!((25.0..40.0).contains(&pct), "subset {pct}%");
+    }
+
+    #[test]
+    fn traffic_shows_near_storage_benefit() {
+        let cfg = NessaConfig::new(0.2, 5).with_batch_size(32).with_seed(1);
+        let mut p = small_setup(&cfg);
+        let report = p.run();
+        let t = report.traffic;
+        assert!(t.ssd_to_fpga > 0, "flash reads must be accounted");
+        assert!(t.fpga_to_host > 0, "subset transfers must be accounted");
+        assert!(t.host_to_fpga > 0, "feedback must be accounted");
+        // The subset crossing the interconnect is much smaller than what
+        // stayed on-board.
+        assert!(t.fpga_to_host < t.ssd_to_fpga / 2);
+        assert!(report.device_energy_j > 0.0);
+    }
+
+    #[test]
+    fn subset_biasing_shrinks_pool() {
+        let mut cfg = NessaConfig::new(0.3, 9).with_batch_size(32).with_seed(2);
+        cfg.biasing_drop_every = 3;
+        cfg.biasing_drop_fraction = 0.2;
+        let mut p = small_setup(&cfg);
+        let report = p.run();
+        let first_pool = report.epochs.first().unwrap().pool_size;
+        let last_pool = report.epochs.last().unwrap().pool_size;
+        assert!(last_pool < first_pool, "{last_pool} !< {first_pool}");
+    }
+
+    #[test]
+    fn dynamic_sizing_reduces_subset() {
+        let mut cfg = NessaConfig::new(0.5, 12)
+            .with_batch_size(32)
+            .with_dynamic_sizing(true)
+            .with_seed(3);
+        cfg.sizing_threshold = 0.5; // aggressive: shrink on <50 % reduction
+        cfg.sizing_factor = 0.8;
+        cfg.sizing_min_fraction = 0.1;
+        let mut p = small_setup(&cfg);
+        let report = p.run();
+        let first = report.epochs.first().unwrap().subset_size;
+        let last = report.epochs.last().unwrap().subset_size;
+        assert!(last < first, "{last} !< {first}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = NessaConfig::new(0.3, 4).with_batch_size(32).with_seed(9);
+        let a = small_setup(&cfg).run();
+        let b = small_setup(&cfg).run();
+        assert_eq!(a.accuracy_curve(), b.accuracy_curve());
+        assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    #[should_panic(expected = "share structure")]
+    fn rejects_mismatched_selector() {
+        let cfg = NessaConfig::new(0.3, 2);
+        let synth = SynthConfig {
+            train: 50,
+            test: 20,
+            dim: 8,
+            classes: 3,
+            ..SynthConfig::default()
+        };
+        let (train, test) = synth.generate();
+        let mut rng = Rng64::new(0);
+        let target = mlp(&[8, 24, 3], &mut rng);
+        let selector = mlp(&[8, 16, 3], &mut rng);
+        let _ = NessaPipeline::new(cfg, target, selector, train, test);
+    }
+}

@@ -1,0 +1,197 @@
+//! Run reports: per-epoch records plus device-level summaries.
+
+use nessa_smartssd::TrafficStats;
+use std::fmt;
+
+/// One epoch's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch number (0-based).
+    pub epoch: usize,
+    /// Learning rate used.
+    pub lr: f32,
+    /// Samples trained on this epoch.
+    pub subset_size: usize,
+    /// Active candidate-pool size (after subset biasing).
+    pub pool_size: usize,
+    /// Weighted mean training loss.
+    pub train_loss: f32,
+    /// Test accuracy (fraction in `[0, 1]`).
+    pub test_acc: f32,
+    /// Simulated seconds the selection kernel ran this epoch.
+    pub select_secs: f64,
+    /// Simulated seconds of data movement this epoch (flash reads, subset
+    /// transfer, feedback).
+    pub io_secs: f64,
+}
+
+/// A full training run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Policy/run label (e.g. `"nessa"`, `"goal"`, `"craig"`).
+    pub name: String,
+    /// Per-epoch records, in order.
+    pub epochs: Vec<EpochRecord>,
+    /// Device traffic at the end of the run (zero for CPU-only policies).
+    pub traffic: TrafficStats,
+    /// Simulated device energy in joules (zero for CPU-only policies).
+    pub device_energy_j: f64,
+    /// Training-set size the run started from.
+    pub train_size: usize,
+}
+
+impl RunReport {
+    /// Final-epoch test accuracy (`0.0` for an empty run).
+    pub fn final_accuracy(&self) -> f32 {
+        self.epochs.last().map(|e| e.test_acc).unwrap_or(0.0)
+    }
+
+    /// Best test accuracy across epochs.
+    pub fn best_accuracy(&self) -> f32 {
+        self.epochs.iter().map(|e| e.test_acc).fold(0.0, f32::max)
+    }
+
+    /// Mean subset size as a percentage of the training set.
+    pub fn mean_subset_pct(&self) -> f32 {
+        if self.epochs.is_empty() || self.train_size == 0 {
+            return 0.0;
+        }
+        let mean: f64 = self
+            .epochs
+            .iter()
+            .map(|e| e.subset_size as f64)
+            .sum::<f64>()
+            / self.epochs.len() as f64;
+        (100.0 * mean / self.train_size as f64) as f32
+    }
+
+    /// Final subset size as a percentage of the training set.
+    pub fn final_subset_pct(&self) -> f32 {
+        match (self.epochs.last(), self.train_size) {
+            (Some(e), n) if n > 0 => 100.0 * e.subset_size as f32 / n as f32,
+            _ => 0.0,
+        }
+    }
+
+    /// Test-accuracy series over epochs (the Figure 5 curve).
+    pub fn accuracy_curve(&self) -> Vec<f32> {
+        self.epochs.iter().map(|e| e.test_acc).collect()
+    }
+
+    /// First epoch reaching `target` test accuracy, if any (convergence
+    /// speed, §4.3).
+    pub fn epochs_to_accuracy(&self, target: f32) -> Option<usize> {
+        self.epochs.iter().find(|e| e.test_acc >= target).map(|e| e.epoch)
+    }
+
+    /// Total simulated selection + I/O seconds across the run.
+    pub fn device_secs(&self) -> f64 {
+        self.epochs.iter().map(|e| e.select_secs + e.io_secs).sum()
+    }
+
+    /// CSV rendering (`epoch,lr,subset,pool,loss,acc,select_s,io_s`).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("epoch,lr,subset_size,pool_size,train_loss,test_acc,select_s,io_s\n");
+        for e in &self.epochs {
+            s.push_str(&format!(
+                "{},{},{},{},{:.6},{:.4},{:.6},{:.6}\n",
+                e.epoch, e.lr, e.subset_size, e.pool_size, e.train_loss, e.test_acc,
+                e.select_secs, e.io_secs
+            ));
+        }
+        s
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} epochs, final acc {:.2}%, best {:.2}%, mean subset {:.1}%",
+            self.name,
+            self.epochs.len(),
+            100.0 * self.final_accuracy(),
+            100.0 * self.best_accuracy(),
+            self.mean_subset_pct()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            name: "test".into(),
+            epochs: vec![
+                EpochRecord {
+                    epoch: 0,
+                    lr: 0.1,
+                    subset_size: 30,
+                    pool_size: 100,
+                    train_loss: 2.0,
+                    test_acc: 0.4,
+                    select_secs: 0.1,
+                    io_secs: 0.2,
+                },
+                EpochRecord {
+                    epoch: 1,
+                    lr: 0.1,
+                    subset_size: 20,
+                    pool_size: 90,
+                    train_loss: 1.0,
+                    test_acc: 0.7,
+                    select_secs: 0.1,
+                    io_secs: 0.2,
+                },
+            ],
+            traffic: TrafficStats::default(),
+            device_energy_j: 1.5,
+            train_size: 100,
+        }
+    }
+
+    #[test]
+    fn accuracy_accessors() {
+        let r = sample_report();
+        assert_eq!(r.final_accuracy(), 0.7);
+        assert_eq!(r.best_accuracy(), 0.7);
+        assert_eq!(r.accuracy_curve(), vec![0.4, 0.7]);
+        assert_eq!(r.epochs_to_accuracy(0.5), Some(1));
+        assert_eq!(r.epochs_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn subset_percentages() {
+        let r = sample_report();
+        assert!((r.mean_subset_pct() - 25.0).abs() < 1e-4);
+        assert!((r.final_subset_pct() - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn device_seconds_sum() {
+        let r = sample_report();
+        assert!((r.device_secs() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample_report().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("epoch,"));
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport::default();
+        assert_eq!(r.final_accuracy(), 0.0);
+        assert_eq!(r.mean_subset_pct(), 0.0);
+        assert_eq!(r.final_subset_pct(), 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(format!("{}", sample_report()).contains("test"));
+    }
+}

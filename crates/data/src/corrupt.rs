@@ -1,0 +1,167 @@
+//! Failure injection for robustness testing.
+//!
+//! Storage systems must fail loudly, not silently: these helpers corrupt
+//! encoded record streams (bit flips, truncation, duplication) and inject
+//! label noise into datasets, so tests can verify that the decoder rejects
+//! damage and that the training pipeline degrades gracefully rather than
+//! crashing.
+
+use crate::dataset::Dataset;
+use nessa_tensor::rng::Rng64;
+
+/// Flips `count` random bits anywhere in `bytes` (duplicates possible).
+///
+/// # Panics
+///
+/// Panics if `bytes` is empty and `count > 0`.
+pub fn flip_random_bits(bytes: &mut [u8], count: usize, rng: &mut Rng64) {
+    assert!(count == 0 || !bytes.is_empty(), "cannot flip bits in an empty buffer");
+    for _ in 0..count {
+        let i = rng.index(bytes.len());
+        let bit = rng.index(8);
+        bytes[i] ^= 1 << bit;
+    }
+}
+
+/// Returns a copy of `bytes` truncated to a random length in
+/// `[0, bytes.len())`.
+pub fn truncate_random(bytes: &[u8], rng: &mut Rng64) -> Vec<u8> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    let keep = rng.index(bytes.len());
+    bytes[..keep].to_vec()
+}
+
+/// Re-labels a fraction of samples uniformly at random (label noise),
+/// returning the indices that changed.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]` or the dataset has fewer than
+/// two classes (re-labelling is then impossible).
+pub fn inject_label_noise(
+    dataset: &Dataset,
+    fraction: f32,
+    rng: &mut Rng64,
+) -> (Dataset, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(dataset.classes() >= 2, "label noise needs at least two classes");
+    let n = dataset.len();
+    let victims = rng.sample_indices(n, ((n as f32) * fraction).round() as usize);
+    let mut labels = dataset.labels().to_vec();
+    for &i in &victims {
+        let old = labels[i];
+        let mut new = rng.index(dataset.classes());
+        while new == old {
+            new = rng.index(dataset.classes());
+        }
+        labels[i] = new;
+    }
+    let noisy = Dataset::new(
+        format!("{}+noise{:.0}%", dataset.name(), 100.0 * fraction),
+        dataset.features().clone(),
+        labels,
+        dataset.classes(),
+        dataset.bytes_per_sample(),
+    );
+    (noisy, victims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{decode_dataset, encode_dataset};
+    use crate::synth::SynthConfig;
+
+    fn toy() -> Dataset {
+        SynthConfig {
+            train: 50,
+            test: 10,
+            dim: 6,
+            classes: 4,
+            ..SynthConfig::default()
+        }
+        .generate()
+        .0
+    }
+
+    #[test]
+    fn bit_flips_change_the_buffer() {
+        let mut rng = Rng64::new(0);
+        let mut buf = vec![0u8; 64];
+        flip_random_bits(&mut buf, 10, &mut rng);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn decoder_survives_random_corruption() {
+        // Any corruption must produce Err or a *valid* dataset — never a
+        // panic or an out-of-contract value.
+        let ds = toy();
+        let clean = encode_dataset(&ds);
+        let mut rng = Rng64::new(1);
+        for round in 0..100 {
+            let mut bytes = clean.to_vec();
+            flip_random_bits(&mut bytes, 1 + round % 8, &mut rng);
+            if let Ok(decoded) = decode_dataset("corrupt", &bytes) {
+                assert!(decoded.labels().iter().all(|&y| y < decoded.classes()));
+                assert_eq!(decoded.len(), decoded.labels().len());
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_survives_truncation() {
+        let ds = toy();
+        let clean = encode_dataset(&ds);
+        let mut rng = Rng64::new(2);
+        for _ in 0..50 {
+            let cut = truncate_random(&clean, &mut rng);
+            // Shorter than the original can decode only if it still
+            // advertises a consistent record count — most cuts must fail.
+            if let Ok(decoded) = decode_dataset("cut", &cut) {
+                assert!(decoded.len() <= ds.len());
+            }
+        }
+    }
+
+    #[test]
+    fn label_noise_changes_exactly_the_requested_fraction() {
+        let ds = toy();
+        let mut rng = Rng64::new(3);
+        let (noisy, victims) = inject_label_noise(&ds, 0.2, &mut rng);
+        assert_eq!(victims.len(), 10);
+        let changed = ds
+            .labels()
+            .iter()
+            .zip(noisy.labels())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(changed, 10);
+        assert_eq!(noisy.features().as_slice(), ds.features().as_slice());
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let ds = toy();
+        let mut rng = Rng64::new(4);
+        let (noisy, victims) = inject_label_noise(&ds, 0.0, &mut rng);
+        assert!(victims.is_empty());
+        assert_eq!(noisy.labels(), ds.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn noise_rejects_single_class() {
+        let ds = Dataset::new(
+            "one",
+            nessa_tensor::Tensor::zeros(&[3, 2]),
+            vec![0, 0, 0],
+            1,
+            10,
+        );
+        let mut rng = Rng64::new(5);
+        let _ = inject_label_noise(&ds, 0.5, &mut rng);
+    }
+}

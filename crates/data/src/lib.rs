@@ -1,0 +1,31 @@
+//! Datasets for the NeSSA reproduction.
+//!
+//! The paper evaluates on CIFAR-10, SVHN, CINIC-10, CIFAR-100, TinyImageNet
+//! and ImageNet-100 (Table 1). Those datasets are not redistributable inside
+//! this repository, so this crate provides **seeded synthetic stand-ins**
+//! with the same class counts, training-set sizes and per-image byte
+//! footprints, generated as class-conditional Gaussian mixtures with
+//! controllable intra-class redundancy (see DESIGN.md §2 for why this
+//! preserves the behaviours the paper measures).
+//!
+//! * [`dataset`] — the in-memory [`Dataset`] container,
+//! * [`synth`] — the Gaussian-mixture generator,
+//! * [`catalog`] — the paper's Table 1 (plus MNIST for Figure 2) with both
+//!   full-scale metadata and scaled-down generation parameters,
+//! * [`record`] — the binary record format datasets use when they live on
+//!   the simulated SmartSSD,
+//! * [`loader`] — shuffled mini-batch iteration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod corrupt;
+pub mod dataset;
+pub mod loader;
+pub mod record;
+pub mod synth;
+
+pub use catalog::{DatasetSpec, PaperModel};
+pub use dataset::Dataset;
+pub use synth::SynthConfig;

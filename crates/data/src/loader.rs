@@ -1,0 +1,128 @@
+//! Shuffled mini-batch iteration.
+
+use nessa_tensor::rng::Rng64;
+
+/// Produces the index batches of one training epoch.
+///
+/// With `shuffle`, indices are permuted with the supplied RNG each time
+/// [`BatchPlan::epoch`] is called, so successive epochs see different
+/// orders while the whole run stays deterministic under its seed.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    n: usize,
+    batch_size: usize,
+    shuffle: bool,
+    drop_last: bool,
+}
+
+impl BatchPlan {
+    /// Creates a plan over `n` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(n: usize, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            n,
+            batch_size,
+            shuffle: true,
+            drop_last: false,
+        }
+    }
+
+    /// Disables shuffling (evaluation order).
+    pub fn sequential(mut self) -> Self {
+        self.shuffle = false;
+        self
+    }
+
+    /// Drops a trailing partial batch.
+    pub fn drop_last(mut self) -> Self {
+        self.drop_last = true;
+        self
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        if self.drop_last {
+            self.n / self.batch_size
+        } else {
+            self.n.div_ceil(self.batch_size)
+        }
+    }
+
+    /// Materializes one epoch of index batches.
+    pub fn epoch(&self, rng: &mut Rng64) -> Vec<Vec<usize>> {
+        let mut idx: Vec<usize> = (0..self.n).collect();
+        if self.shuffle {
+            rng.shuffle(&mut idx);
+        }
+        let mut out = Vec::with_capacity(self.batches_per_epoch());
+        for chunk in idx.chunks(self.batch_size) {
+            if self.drop_last && chunk.len() < self.batch_size {
+                break;
+            }
+            out.push(chunk.to_vec());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn covers_every_index_once() {
+        let plan = BatchPlan::new(103, 16);
+        let mut rng = Rng64::new(0);
+        let batches = plan.epoch(&mut rng);
+        assert_eq!(batches.len(), 7);
+        let all: HashSet<usize> = batches.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 103);
+    }
+
+    #[test]
+    fn drop_last_discards_partial() {
+        let plan = BatchPlan::new(103, 16).drop_last();
+        let mut rng = Rng64::new(0);
+        let batches = plan.epoch(&mut rng);
+        assert_eq!(batches.len(), 6);
+        assert!(batches.iter().all(|b| b.len() == 16));
+        assert_eq!(plan.batches_per_epoch(), 6);
+    }
+
+    #[test]
+    fn sequential_preserves_order() {
+        let plan = BatchPlan::new(10, 4).sequential();
+        let mut rng = Rng64::new(0);
+        let batches = plan.epoch(&mut rng);
+        assert_eq!(batches[0], vec![0, 1, 2, 3]);
+        assert_eq!(batches[2], vec![8, 9]);
+    }
+
+    #[test]
+    fn shuffle_differs_between_epochs() {
+        let plan = BatchPlan::new(64, 8);
+        let mut rng = Rng64::new(1);
+        let a = plan.epoch(&mut rng);
+        let b = plan.epoch(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let plan = BatchPlan::new(64, 8);
+        let a = plan.epoch(&mut Rng64::new(9));
+        let b = plan.epoch(&mut Rng64::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn rejects_zero_batch() {
+        let _ = BatchPlan::new(10, 0);
+    }
+}

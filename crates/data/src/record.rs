@@ -1,0 +1,294 @@
+//! The binary record format datasets use on the simulated SmartSSD.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! header:  magic "NSSA" | version u16 | classes u32 | dim u32
+//!          | record_len u32 | count u32
+//! record:  label u32 | dim × f32 | zero padding up to record_len
+//! ```
+//!
+//! `record_len` is the dataset's storage bytes-per-sample, so a CIFAR-like
+//! dataset really occupies 3 KB per record on the simulated flash even
+//! though its feature vector is much smaller — the padding stands in for
+//! the raw pixels the paper's SmartSSD stores and moves.
+
+use crate::dataset::Dataset;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// File magic.
+pub const MAGIC: &[u8; 4] = b"NSSA";
+/// Format version.
+pub const VERSION: u16 = 1;
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 4 + 2 + 4 + 4 + 4 + 4;
+
+/// Errors from decoding a record stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The stream ended before the advertised contents.
+    Truncated {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes available.
+        actual: usize,
+    },
+    /// A field failed validation.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::BadMagic => write!(f, "bad magic; not a NeSSA record stream"),
+            RecordError::BadVersion(v) => write!(f, "unsupported record version {v}"),
+            RecordError::Truncated { expected, actual } => {
+                write!(f, "truncated stream: expected {expected} bytes, got {actual}")
+            }
+            RecordError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// On-flash bytes per record for a dataset: the declared storage footprint,
+/// but never less than the encoded payload (label + features).
+pub fn record_len(dim: usize, bytes_per_sample: usize) -> usize {
+    (4 + 4 * dim).max(bytes_per_sample)
+}
+
+/// Total encoded length of a dataset, header included.
+pub fn encoded_len(dataset: &Dataset) -> usize {
+    HEADER_LEN + dataset.len() * record_len(dataset.dim(), dataset.bytes_per_sample())
+}
+
+/// Serializes a dataset into its on-flash representation.
+pub fn encode_dataset(dataset: &Dataset) -> Bytes {
+    let rec_len = record_len(dataset.dim(), dataset.bytes_per_sample());
+    let mut buf = BytesMut::with_capacity(encoded_len(dataset));
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(dataset.classes() as u32);
+    buf.put_u32_le(dataset.dim() as u32);
+    buf.put_u32_le(rec_len as u32);
+    buf.put_u32_le(dataset.len() as u32);
+    let payload = 4 + 4 * dataset.dim();
+    for i in 0..dataset.len() {
+        buf.put_u32_le(dataset.label(i) as u32);
+        for &v in dataset.sample(i) {
+            buf.put_f32_le(v);
+        }
+        buf.put_bytes(0, rec_len - payload);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a dataset from its on-flash representation.
+///
+/// # Errors
+///
+/// Returns a [`RecordError`] when the stream is malformed: wrong magic or
+/// version, truncated contents, or labels out of range.
+pub fn decode_dataset(name: &str, mut bytes: &[u8]) -> Result<Dataset, RecordError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(RecordError::Truncated {
+            expected: HEADER_LEN,
+            actual: bytes.len(),
+        });
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(RecordError::BadMagic);
+    }
+    let version = bytes.get_u16_le();
+    if version != VERSION {
+        return Err(RecordError::BadVersion(version));
+    }
+    let classes = bytes.get_u32_le() as usize;
+    let dim = bytes.get_u32_le() as usize;
+    let rec_len = bytes.get_u32_le() as usize;
+    let count = bytes.get_u32_le() as usize;
+    if classes == 0 {
+        return Err(RecordError::Corrupt("zero classes"));
+    }
+    if rec_len < 4 + 4 * dim {
+        return Err(RecordError::Corrupt("record length below payload size"));
+    }
+    let need = count * rec_len;
+    if bytes.remaining() < need {
+        return Err(RecordError::Truncated {
+            expected: HEADER_LEN + need,
+            actual: HEADER_LEN + bytes.remaining(),
+        });
+    }
+    let mut features = Vec::with_capacity(count * dim);
+    let mut labels = Vec::with_capacity(count);
+    let pad = rec_len - (4 + 4 * dim);
+    for _ in 0..count {
+        let label = bytes.get_u32_le() as usize;
+        if label >= classes {
+            return Err(RecordError::Corrupt("label out of range"));
+        }
+        labels.push(label);
+        for _ in 0..dim {
+            features.push(bytes.get_f32_le());
+        }
+        bytes.advance(pad);
+    }
+    let x = nessa_tensor::Tensor::from_vec(features, &[count, dim]);
+    Ok(Dataset::new(name, x, labels, classes, rec_len))
+}
+
+/// Writes a dataset to a `.nssa` file at `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_file(dataset: &Dataset, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, encode_dataset(dataset))
+}
+
+/// Reads a dataset from a `.nssa` file at `path`, naming it after the
+/// file stem.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or an
+/// [`InvalidData`](std::io::ErrorKind::InvalidData) error wrapping the
+/// [`RecordError`] when the file is malformed.
+pub fn read_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Dataset> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset");
+    decode_dataset(name, &bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    fn toy() -> Dataset {
+        let cfg = SynthConfig {
+            train: 40,
+            test: 10,
+            dim: 8,
+            classes: 4,
+            bytes_per_sample: 100,
+            ..SynthConfig::default()
+        };
+        cfg.generate().0
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = toy();
+        let enc = encode_dataset(&d);
+        assert_eq!(enc.len(), encoded_len(&d));
+        let back = decode_dataset("toy", &enc).unwrap();
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.labels(), d.labels());
+        assert_eq!(back.features().as_slice(), d.features().as_slice());
+        assert_eq!(back.classes(), d.classes());
+    }
+
+    #[test]
+    fn record_len_has_payload_floor() {
+        assert_eq!(record_len(8, 100), 100);
+        assert_eq!(record_len(100, 10), 404);
+    }
+
+    #[test]
+    fn padding_reflects_storage_footprint() {
+        let d = toy();
+        // 40 records × 100 bytes + header.
+        assert_eq!(encoded_len(&d), HEADER_LEN + 4000);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let d = toy();
+        let mut enc = encode_dataset(&d).to_vec();
+        enc[0] = b'X';
+        assert_eq!(decode_dataset("x", &enc), Err(RecordError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let d = toy();
+        let mut enc = encode_dataset(&d).to_vec();
+        enc[4] = 99;
+        assert!(matches!(
+            decode_dataset("x", &enc),
+            Err(RecordError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let d = toy();
+        let enc = encode_dataset(&d);
+        let cut = &enc[..enc.len() - 10];
+        assert!(matches!(
+            decode_dataset("x", cut),
+            Err(RecordError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode_dataset("x", &enc[..3]),
+            Err(RecordError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let d = toy();
+        let mut enc = encode_dataset(&d).to_vec();
+        // First record's label field sits right after the header.
+        enc[HEADER_LEN] = 200;
+        assert_eq!(
+            decode_dataset("x", &enc),
+            Err(RecordError::Corrupt("label out of range"))
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let d = toy();
+        let dir = std::env::temp_dir().join("nessa-record-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.nssa");
+        write_file(&d, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.name(), "toy");
+        assert_eq!(back.features().as_slice(), d.features().as_slice());
+        assert_eq!(back.labels(), d.labels());
+        // A corrupted file surfaces as InvalidData, not a panic.
+        std::fs::write(&path, b"not a record stream").unwrap();
+        let err = read_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            RecordError::BadMagic,
+            RecordError::BadVersion(2),
+            RecordError::Truncated { expected: 10, actual: 5 },
+            RecordError::Corrupt("x"),
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

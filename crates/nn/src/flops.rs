@@ -1,0 +1,204 @@
+//! Analytic FLOP accounting for the paper's full-size architectures.
+//!
+//! The reproduction trains *scaled* networks (CPU-sized), but the timing
+//! experiments (Figures 1, 2, 4 and the §4.3 speed-ups) are driven by the
+//! FLOP counts of the *full-size* models the paper used. This module builds
+//! those counts analytically from the architecture definitions, so the cost
+//! model in [`crate::cost`] works with faithful numbers.
+
+/// One convolution's shape, enough to count its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Square kernel size.
+    pub k: usize,
+    /// Output height.
+    pub oh: usize,
+    /// Output width.
+    pub ow: usize,
+}
+
+impl ConvSpec {
+    /// Forward multiply-accumulate FLOPs (2 per MAC).
+    pub fn flops(&self) -> u64 {
+        2 * self.cin as u64
+            * self.cout as u64
+            * (self.k * self.k) as u64
+            * (self.oh * self.ow) as u64
+    }
+}
+
+/// An architecture as a flat list of convolutions plus a linear head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchSpec {
+    /// Human-readable name (e.g. `"resnet20@32"`).
+    pub name: String,
+    /// All convolutions, in order.
+    pub convs: Vec<ConvSpec>,
+    /// The classifier head: (in-features, classes).
+    pub fc: (usize, usize),
+}
+
+impl ArchSpec {
+    /// Total forward FLOPs per sample.
+    pub fn forward_flops(&self) -> u64 {
+        let conv: u64 = self.convs.iter().map(ConvSpec::flops).sum();
+        conv + 2 * self.fc.0 as u64 * self.fc.1 as u64
+    }
+
+    /// Forward+backward FLOPs per sample (backward ≈ 2× forward, the
+    /// standard convention the paper's GPU numbers reflect).
+    pub fn training_flops(&self) -> u64 {
+        3 * self.forward_flops()
+    }
+
+    /// CIFAR-style ResNet-20 (stem + 3 stages × 3 basic blocks, widths
+    /// 16/32/64) on `hw × hw` inputs.
+    pub fn resnet20(hw: usize, classes: usize) -> Self {
+        Self::basic_resnet("resnet20", hw, classes, 16, &[3, 3, 3], 3)
+    }
+
+    /// ImageNet-style ResNet-18 (4 stages × 2 basic blocks, widths
+    /// 64..512) on `hw × hw` inputs, with a CIFAR-style 3×3 stem so the
+    /// same builder covers the small-image datasets the paper uses it on.
+    pub fn resnet18(hw: usize, classes: usize) -> Self {
+        Self::basic_resnet("resnet18", hw, classes, 64, &[2, 2, 2, 2], 3)
+    }
+
+    /// ResNet-50 (4 stages of 3/4/6/3 bottleneck blocks, widths 256..2048)
+    /// on `hw × hw` inputs with the 7×7/stride-2 stem and 3×3 max pool.
+    pub fn resnet50(hw: usize, classes: usize) -> Self {
+        let mut convs = Vec::new();
+        let mut size = hw.div_ceil(2); // 7×7 stride-2 stem
+        convs.push(ConvSpec {
+            cin: 3,
+            cout: 64,
+            k: 7,
+            oh: size,
+            ow: size,
+        });
+        size = size.div_ceil(2); // 3×3 stride-2 max pool
+        let stages: [(usize, usize); 4] = [(256, 3), (512, 4), (1024, 6), (2048, 3)];
+        let mut cin = 64;
+        for (s, &(cout, blocks)) in stages.iter().enumerate() {
+            for b in 0..blocks {
+                let stride = if s > 0 && b == 0 { 2 } else { 1 };
+                if stride == 2 {
+                    size = size.div_ceil(2);
+                }
+                let mid = cout / 4;
+                // 1×1 reduce, 3×3, 1×1 expand.
+                convs.push(ConvSpec { cin, cout: mid, k: 1, oh: size, ow: size });
+                convs.push(ConvSpec { cin: mid, cout: mid, k: 3, oh: size, ow: size });
+                convs.push(ConvSpec { cin: mid, cout, k: 1, oh: size, ow: size });
+                if b == 0 {
+                    // Projection shortcut.
+                    convs.push(ConvSpec { cin, cout, k: 1, oh: size, ow: size });
+                }
+                cin = cout;
+            }
+        }
+        Self {
+            name: format!("resnet50@{hw}"),
+            convs,
+            fc: (2048, classes),
+        }
+    }
+
+    fn basic_resnet(
+        name: &str,
+        hw: usize,
+        classes: usize,
+        width: usize,
+        blocks_per_stage: &[usize],
+        stem_k: usize,
+    ) -> Self {
+        let mut convs = Vec::new();
+        let mut size = hw;
+        convs.push(ConvSpec {
+            cin: 3,
+            cout: width,
+            k: stem_k,
+            oh: size,
+            ow: size,
+        });
+        let mut cin = width;
+        for (s, &blocks) in blocks_per_stage.iter().enumerate() {
+            let cout = width << s;
+            for b in 0..blocks {
+                let stride = if s > 0 && b == 0 { 2 } else { 1 };
+                if stride == 2 {
+                    size = size.div_ceil(2);
+                }
+                convs.push(ConvSpec { cin, cout, k: 3, oh: size, ow: size });
+                convs.push(ConvSpec { cin: cout, cout, k: 3, oh: size, ow: size });
+                if stride == 2 || cin != cout {
+                    convs.push(ConvSpec { cin, cout, k: 1, oh: size, ow: size });
+                }
+                cin = cout;
+            }
+        }
+        Self {
+            name: format!("{name}@{hw}"),
+            convs,
+            fc: (cin, classes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_flops_formula() {
+        let c = ConvSpec { cin: 3, cout: 16, k: 3, oh: 32, ow: 32 };
+        assert_eq!(c.flops(), 2 * 3 * 16 * 9 * 1024);
+    }
+
+    #[test]
+    fn resnet20_is_about_80_mflops() {
+        // Published MAC count for CIFAR ResNet-20 is ~40.8M ⇒ ~81.6 MFLOPs.
+        let f = ArchSpec::resnet20(32, 10).forward_flops();
+        assert!(
+            (60_000_000..110_000_000).contains(&f),
+            "resnet20 forward flops {f}"
+        );
+    }
+
+    #[test]
+    fn resnet18_at_32_is_about_1_gflop() {
+        // CIFAR-style ResNet-18 is ~0.56 GMACs ⇒ ~1.1 GFLOPs.
+        let f = ArchSpec::resnet18(32, 10).forward_flops();
+        assert!(
+            (800_000_000..1_500_000_000).contains(&f),
+            "resnet18@32 forward flops {f}"
+        );
+    }
+
+    #[test]
+    fn resnet50_at_224_is_about_8_gflops() {
+        // Published ResNet-50 is ~4.1 GMACs ⇒ ~8.2 GFLOPs.
+        let f = ArchSpec::resnet50(224, 1000).forward_flops();
+        assert!(
+            (6_000_000_000..11_000_000_000).contains(&f),
+            "resnet50 forward flops {f}"
+        );
+    }
+
+    #[test]
+    fn training_flops_are_triple_forward() {
+        let a = ArchSpec::resnet20(32, 10);
+        assert_eq!(a.training_flops(), 3 * a.forward_flops());
+    }
+
+    #[test]
+    fn larger_inputs_cost_more() {
+        let small = ArchSpec::resnet18(32, 200).forward_flops();
+        let big = ArchSpec::resnet18(64, 200).forward_flops();
+        assert!(big > 3 * small, "{big} vs {small}");
+    }
+}

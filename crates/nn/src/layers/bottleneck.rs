@@ -1,0 +1,222 @@
+//! The bottleneck residual block (ResNet-50's building block).
+
+use super::{BatchNorm2d, Conv2d, Layer, Param, Relu};
+use nessa_tensor::rng::Rng64;
+use nessa_tensor::Tensor;
+
+/// A bottleneck residual block:
+/// `relu(bn3(conv1x1_expand(relu(bn2(conv3x3(relu(bn1(conv1x1_reduce x))))))) + shortcut(x))`.
+///
+/// The 3×3 convolution operates at `out_ch / expansion` channels
+/// (expansion = 4 in ResNet-50), which is what lets the deep ImageNet
+/// models stay affordable. Used by the ResNet-50-style builder in
+/// [`crate::models`].
+pub struct Bottleneck {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    relu2: Relu,
+    conv3: Conv2d,
+    bn3: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    cached_preact: Option<Tensor>,
+}
+
+impl std::fmt::Debug for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Bottleneck(projected_shortcut={})",
+            self.shortcut.is_some()
+        )
+    }
+}
+
+impl Bottleneck {
+    /// Creates a bottleneck block mapping `in_ch` to `out_ch` channels with
+    /// the given stride on the 3×3 convolution and the given expansion
+    /// (ResNet-50 uses 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expansion == 0` or `out_ch` is not divisible by
+    /// `expansion`.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        expansion: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(expansion > 0, "expansion must be positive");
+        assert_eq!(
+            out_ch % expansion,
+            0,
+            "out_ch {out_ch} must be divisible by expansion {expansion}"
+        );
+        let mid = out_ch / expansion;
+        let shortcut = if stride != 1 || in_ch != out_ch {
+            Some((
+                Conv2d::new(in_ch, out_ch, 1, stride, 0, rng),
+                BatchNorm2d::new(out_ch),
+            ))
+        } else {
+            None
+        };
+        Self {
+            conv1: Conv2d::new(in_ch, mid, 1, 1, 0, rng),
+            bn1: BatchNorm2d::new(mid),
+            relu1: Relu::new(),
+            conv2: Conv2d::new(mid, mid, 3, stride, 1, rng),
+            bn2: BatchNorm2d::new(mid),
+            relu2: Relu::new(),
+            conv3: Conv2d::new(mid, out_ch, 1, 1, 0, rng),
+            bn3: BatchNorm2d::new(out_ch),
+            shortcut,
+            cached_preact: None,
+        }
+    }
+}
+
+impl Layer for Bottleneck {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut h = self.conv1.forward(x, train);
+        h = self.bn1.forward(&h, train);
+        h = self.relu1.forward(&h, train);
+        h = self.conv2.forward(&h, train);
+        h = self.bn2.forward(&h, train);
+        h = self.relu2.forward(&h, train);
+        h = self.conv3.forward(&h, train);
+        h = self.bn3.forward(&h, train);
+        let skip = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward(x, train);
+                bn.forward(&s, train)
+            }
+            None => x.clone(),
+        };
+        let preact = &h + &skip;
+        self.cached_preact = Some(preact.clone());
+        preact.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let preact = self
+            .cached_preact
+            .as_ref()
+            .expect("Bottleneck::backward before forward");
+        let g = grad_out
+            .try_zip(preact, "bottleneck-relu", |g, p| if p > 0.0 { g } else { 0.0 })
+            .expect("bottleneck gradient shape mismatch");
+        let mut gb = self.bn3.backward(&g);
+        gb = self.conv3.backward(&gb);
+        gb = self.relu2.backward(&gb);
+        gb = self.bn2.backward(&gb);
+        gb = self.conv2.backward(&gb);
+        gb = self.relu1.backward(&gb);
+        gb = self.bn1.backward(&gb);
+        gb = self.conv1.backward(&gb);
+        let gs = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let t = bn.backward(&g);
+                conv.backward(&t)
+            }
+            None => g,
+        };
+        &gb + &gs
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        self.conv3.visit_params(f);
+        self.bn3.visit_params(f);
+        if let Some((conv, bn)) = &mut self.shortcut {
+            conv.visit_params(f);
+            bn.visit_params(f);
+        }
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        let mut n = self.conv1.flops_per_sample()
+            + self.conv2.flops_per_sample()
+            + self.conv3.flops_per_sample();
+        if let Some((conv, _)) = &self.shortcut {
+            n += conv.flops_per_sample();
+        }
+        n
+    }
+
+    fn name(&self) -> &'static str {
+        "bottleneck"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_path_preserves_shape() {
+        let mut rng = Rng64::new(0);
+        let mut block = Bottleneck::new(8, 8, 1, 4, &mut rng);
+        let x = Tensor::randn(&[2, 8, 6, 6], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[2, 8, 6, 6]);
+        let g = block.backward(&Tensor::ones(y.shape().dims()));
+        assert_eq!(g.shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn downsample_halves_spatial_and_expands_channels() {
+        let mut rng = Rng64::new(1);
+        let mut block = Bottleneck::new(8, 16, 2, 4, &mut rng);
+        let x = Tensor::randn(&[1, 8, 8, 8], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[1, 16, 4, 4]);
+    }
+
+    #[test]
+    fn bottleneck_is_cheaper_than_basic_at_same_width() {
+        use crate::models::ResidualBlock;
+        let mut rng = Rng64::new(2);
+        let mut bneck = Bottleneck::new(32, 32, 1, 4, &mut rng);
+        let mut basic = ResidualBlock::new(32, 32, 1, &mut rng);
+        let x = Tensor::randn(&[1, 32, 8, 8], 0.0, 1.0, &mut rng);
+        let _ = bneck.forward(&x, true);
+        let _ = basic.forward(&x, true);
+        assert!(
+            bneck.flops_per_sample() < basic.flops_per_sample(),
+            "{} !< {}",
+            bneck.flops_per_sample(),
+            basic.flops_per_sample()
+        );
+    }
+
+    #[test]
+    fn gradients_flow_to_all_params() {
+        let mut rng = Rng64::new(3);
+        let mut block = Bottleneck::new(4, 8, 2, 4, &mut rng);
+        let x = Tensor::randn(&[1, 4, 4, 4], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, true);
+        let _ = block.backward(&Tensor::ones(y.shape().dims()));
+        let mut any_zero_grad_weight = false;
+        block.visit_params(&mut |p: &mut Param| {
+            if p.value.ndim() == 2 && p.grad.sq_norm() == 0.0 {
+                any_zero_grad_weight = true;
+            }
+        });
+        assert!(!any_zero_grad_weight, "some conv weight received no gradient");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by expansion")]
+    fn rejects_bad_expansion() {
+        let mut rng = Rng64::new(4);
+        let _ = Bottleneck::new(4, 10, 1, 4, &mut rng);
+    }
+}

@@ -1,0 +1,345 @@
+//! Batch normalization (1-D over features, 2-D over channels).
+
+use super::{Layer, Param};
+use nessa_tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+const MOMENTUM: f32 = 0.1;
+
+/// Batch normalization over the feature axis of `[n, f]` activations.
+#[derive(Debug, Clone)]
+pub struct BatchNorm1d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    features: usize,
+    cache: Option<BnCache>,
+}
+
+/// Batch normalization over the channel axis of `[n, c, h, w]` activations.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    /// Normalized activations x̂, same layout as the input.
+    x_hat: Tensor,
+    /// Per-group inverse standard deviation.
+    inv_std: Vec<f32>,
+    /// Number of elements per normalization group (n for 1-D, n*h*w for 2-D).
+    group_size: usize,
+    in_dims: Vec<usize>,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer for `features`-wide rows.
+    pub fn new(features: usize) -> Self {
+        Self {
+            gamma: Param::new(Tensor::ones(&[features]), false),
+            beta: Param::new(Tensor::zeros(&[features]), false),
+            running_mean: vec![0.0; features],
+            running_var: vec![1.0; features],
+            features,
+            cache: None,
+        }
+    }
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels`-channel feature maps.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Param::new(Tensor::ones(&[channels]), false),
+            beta: Param::new(Tensor::zeros(&[channels]), false),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            cache: None,
+        }
+    }
+}
+
+/// Shared forward: normalizes `groups` interleaved as described by
+/// `group_of`, which maps a flat element index to its channel/feature.
+#[allow(clippy::too_many_arguments)]
+fn bn_forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    running_mean: &mut [f32],
+    running_var: &mut [f32],
+    groups: usize,
+    group_of: impl Fn(usize) -> usize,
+    train: bool,
+    cache: &mut Option<BnCache>,
+) -> Tensor {
+    let n_elems = x.numel();
+    let group_size = n_elems / groups;
+    let (mean, var) = if train {
+        let mut mean = vec![0.0f32; groups];
+        let mut var = vec![0.0f32; groups];
+        for (i, &v) in x.as_slice().iter().enumerate() {
+            mean[group_of(i)] += v;
+        }
+        for m in &mut mean {
+            *m /= group_size as f32;
+        }
+        for (i, &v) in x.as_slice().iter().enumerate() {
+            let g = group_of(i);
+            let d = v - mean[g];
+            var[g] += d * d;
+        }
+        for v in &mut var {
+            *v /= group_size as f32;
+        }
+        for g in 0..groups {
+            running_mean[g] = (1.0 - MOMENTUM) * running_mean[g] + MOMENTUM * mean[g];
+            running_var[g] = (1.0 - MOMENTUM) * running_var[g] + MOMENTUM * var[g];
+        }
+        (mean, var)
+    } else {
+        (running_mean.to_vec(), running_var.to_vec())
+    };
+    let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+    let mut x_hat = Tensor::zeros(x.shape().dims());
+    let mut out = Tensor::zeros(x.shape().dims());
+    let (gs, bs) = (gamma.as_slice(), beta.as_slice());
+    for (i, &v) in x.as_slice().iter().enumerate() {
+        let g = group_of(i);
+        let xh = (v - mean[g]) * inv_std[g];
+        x_hat.as_mut_slice()[i] = xh;
+        out.as_mut_slice()[i] = gs[g] * xh + bs[g];
+    }
+    if train {
+        *cache = Some(BnCache {
+            x_hat,
+            inv_std,
+            group_size,
+            in_dims: x.shape().dims().to_vec(),
+        });
+    }
+    out
+}
+
+/// Shared backward using the cached normalized activations.
+fn bn_backward(
+    grad_out: &Tensor,
+    gamma: &Tensor,
+    gamma_grad: &mut Tensor,
+    beta_grad: &mut Tensor,
+    groups: usize,
+    group_of: impl Fn(usize) -> usize,
+    cache: &BnCache,
+) -> Tensor {
+    assert_eq!(
+        grad_out.shape().dims(),
+        cache.in_dims.as_slice(),
+        "batch-norm backward shape mismatch"
+    );
+    let m = cache.group_size as f32;
+    // Accumulate per-group sums: sum(dy), sum(dy * x̂).
+    let mut sum_dy = vec![0.0f32; groups];
+    let mut sum_dy_xhat = vec![0.0f32; groups];
+    for (i, &dy) in grad_out.as_slice().iter().enumerate() {
+        let g = group_of(i);
+        sum_dy[g] += dy;
+        sum_dy_xhat[g] += dy * cache.x_hat.as_slice()[i];
+    }
+    for g in 0..groups {
+        gamma_grad.as_mut_slice()[g] += sum_dy_xhat[g];
+        beta_grad.as_mut_slice()[g] += sum_dy[g];
+    }
+    let gs = gamma.as_slice();
+    let mut grad_in = Tensor::zeros(&cache.in_dims);
+    for (i, &dy) in grad_out.as_slice().iter().enumerate() {
+        let g = group_of(i);
+        let xh = cache.x_hat.as_slice()[i];
+        grad_in.as_mut_slice()[i] = gs[g] * cache.inv_std[g] / m
+            * (m * dy - sum_dy[g] - xh * sum_dy_xhat[g]);
+    }
+    grad_in
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 2, "BatchNorm1d expects [n, f]");
+        assert_eq!(x.dim(1), self.features, "BatchNorm1d width mismatch");
+        let f = self.features;
+        bn_forward(
+            x,
+            &self.gamma.value,
+            &self.beta.value,
+            &mut self.running_mean,
+            &mut self.running_var,
+            f,
+            |i| i % f,
+            train,
+            &mut self.cache,
+        )
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("BatchNorm1d::backward before forward");
+        let f = self.features;
+        bn_backward(
+            grad_out,
+            &self.gamma.value,
+            &mut self.gamma.grad,
+            &mut self.beta.grad,
+            f,
+            |i| i % f,
+            cache,
+        )
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm1d"
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 4, "BatchNorm2d expects [n, c, h, w]");
+        assert_eq!(x.dim(1), self.channels, "BatchNorm2d channel mismatch");
+        let c = self.channels;
+        let hw = x.dim(2) * x.dim(3);
+        bn_forward(
+            x,
+            &self.gamma.value,
+            &self.beta.value,
+            &mut self.running_mean,
+            &mut self.running_var,
+            c,
+            move |i| (i / hw) % c,
+            train,
+            &mut self.cache,
+        )
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("BatchNorm2d::backward before forward");
+        let c = self.channels;
+        let hw = cache.in_dims[2] * cache.in_dims[3];
+        bn_backward(
+            grad_out,
+            &self.gamma.value,
+            &mut self.gamma.grad,
+            &mut self.beta.grad,
+            c,
+            move |i| (i / hw) % c,
+            cache,
+        )
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nessa_tensor::rng::Rng64;
+
+    #[test]
+    fn bn1d_normalizes_batch_statistics() {
+        let mut rng = Rng64::new(0);
+        let mut bn = BatchNorm1d::new(3);
+        let x = Tensor::randn(&[64, 3], 5.0, 2.0, &mut rng);
+        let y = bn.forward(&x, true);
+        for f in 0..3 {
+            let col: Vec<f32> = (0..64).map(|i| y.at(&[i, f])).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 64.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn bn2d_normalizes_per_channel() {
+        let mut rng = Rng64::new(1);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[8, 2, 4, 4], -3.0, 4.0, &mut rng);
+        let y = bn.forward(&x, true);
+        for c in 0..2 {
+            let mut vals = Vec::new();
+            for n in 0..8 {
+                for h in 0..4 {
+                    for w in 0..4 {
+                        vals.push(y.at(&[n, c, h, w]));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut rng = Rng64::new(2);
+        let mut bn = BatchNorm1d::new(2);
+        // Warm up the running statistics.
+        for _ in 0..200 {
+            let x = Tensor::randn(&[32, 2], 10.0, 1.0, &mut rng);
+            let _ = bn.forward(&x, true);
+        }
+        let x = Tensor::full(&[4, 2], 10.0);
+        let y = bn.forward(&x, false);
+        // Inputs at the running mean should normalize to ~0 (γ=1, β=0).
+        assert!(y.as_slice().iter().all(|&v| v.abs() < 0.2), "{y:?}");
+    }
+
+    #[test]
+    fn bn1d_gradient_matches_finite_difference() {
+        let mut rng = Rng64::new(3);
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::randn(&[5, 2], 0.0, 1.0, &mut rng);
+        // Loss = sum(y^2)/2 so the gradient actually depends on x (plain sum
+        // is killed by mean subtraction).
+        let y = bn.forward(&x, true);
+        let gin = bn.backward(&y);
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp = bn.forward(&xp, true).map(|v| v * v * 0.5).sum();
+            let fm = bn.forward(&xm, true).map(|v| v * v * 0.5).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = gin.as_slice()[i];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "grad at {i}: {num} vs {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_not_weight_decayed() {
+        let mut bn = BatchNorm2d::new(4);
+        let mut decays = Vec::new();
+        bn.visit_params(&mut |p: &mut Param| decays.push(p.decay));
+        assert_eq!(decays, vec![false, false]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Softmax cross-entropy with per-sample losses.
+//!
+//! The per-sample losses are first-class here because NeSSA's subset-biasing
+//! optimization (§3.2.2) tracks each example's loss over the most recent
+//! five epochs to decide which samples are "learned".
+
+use nessa_tensor::ops::{log_softmax_rows, softmax_rows};
+use nessa_tensor::Tensor;
+
+/// Result of a cross-entropy evaluation over a batch.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub mean_loss: f32,
+    /// Loss of each sample.
+    pub per_sample: Vec<f32>,
+    /// Gradient of the *mean* loss with respect to the logits
+    /// (`(softmax − one-hot) / n`), ready to feed `Network::backward`.
+    pub grad_logits: Tensor,
+}
+
+/// Softmax cross-entropy between `logits` (`n × c`) and integer `labels`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D, the label count differs from the row
+/// count, or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    assert_eq!(logits.ndim(), 2, "cross-entropy expects 2-D logits");
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    assert_eq!(labels.len(), n, "label count must match batch size");
+    let log_p = log_softmax_rows(logits);
+    let probs = softmax_rows(logits);
+    let mut per_sample = Vec::with_capacity(n);
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < c, "label {y} out of range for {c} classes");
+        per_sample.push(-log_p.at(&[i, y]));
+        let row = grad.row_mut(i);
+        row[y] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_n;
+        }
+    }
+    let mean_loss = per_sample.iter().sum::<f32>() * inv_n;
+    LossOutput {
+        mean_loss,
+        per_sample,
+        grad_logits: grad,
+    }
+}
+
+/// Weighted softmax cross-entropy.
+///
+/// CRAIG-style coreset training weighs each selected medoid by the size of
+/// the cluster it represents; this variant scales both the per-sample losses
+/// and the logit gradients by `weights` (normalized by the weight sum).
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`softmax_cross_entropy`], if the
+/// weight count differs from the batch size, or if all weights are zero.
+pub fn weighted_softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+    weights: &[f32],
+) -> LossOutput {
+    assert_eq!(logits.ndim(), 2, "cross-entropy expects 2-D logits");
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    assert_eq!(labels.len(), n, "label count must match batch size");
+    assert_eq!(weights.len(), n, "weight count must match batch size");
+    let wsum: f32 = weights.iter().sum();
+    assert!(wsum > 0.0, "weights must not all be zero");
+    let log_p = log_softmax_rows(logits);
+    let probs = softmax_rows(logits);
+    let mut per_sample = Vec::with_capacity(n);
+    let mut grad = probs.clone();
+    let mut mean_loss = 0.0;
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < c, "label {y} out of range for {c} classes");
+        let l = -log_p.at(&[i, y]);
+        per_sample.push(l);
+        mean_loss += weights[i] * l;
+        let scale = weights[i] / wsum;
+        let row = grad.row_mut(i);
+        row[y] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= scale;
+        }
+    }
+    LossOutput {
+        mean_loss: mean_loss / wsum,
+        per_sample,
+        grad_logits: grad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nessa_tensor::rng::Rng64;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((out.mean_loss - (10.0f32).ln()).abs() < 1e-5);
+        for l in &out.per_sample {
+            assert!((l - (10.0f32).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.set(&[0, 0], 10.0);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.mean_loss < 1e-3);
+        let wrong = softmax_cross_entropy(&logits, &[1]);
+        assert!(wrong.mean_loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = Rng64::new(0);
+        let logits = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        let labels = vec![1, 0, 3];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let fp = softmax_cross_entropy(&lp, &labels).mean_loss;
+            let fm = softmax_cross_entropy(&lm, &labels).mean_loss;
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = out.grad_logits.as_slice()[i];
+            assert!((num - ana).abs() < 1e-3, "at {i}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = Rng64::new(1);
+        let logits = Tensor::randn(&[5, 7], 0.0, 2.0, &mut rng);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3, 4]);
+        for i in 0..5 {
+            let s: f32 = out.grad_logits.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weighted_reduces_to_unweighted_for_equal_weights() {
+        let mut rng = Rng64::new(2);
+        let logits = Tensor::randn(&[4, 3], 0.0, 1.0, &mut rng);
+        let labels = vec![0, 1, 2, 0];
+        let a = softmax_cross_entropy(&logits, &labels);
+        let b = weighted_softmax_cross_entropy(&logits, &labels, &[1.0; 4]);
+        assert!((a.mean_loss - b.mean_loss).abs() < 1e-6);
+        for (x, y) in a.grad_logits.as_slice().iter().zip(b.grad_logits.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weighted_emphasizes_heavy_samples() {
+        let mut rng = Rng64::new(3);
+        let logits = Tensor::randn(&[2, 3], 0.0, 1.0, &mut rng);
+        let labels = vec![0, 1];
+        let out = weighted_softmax_cross_entropy(&logits, &labels, &[3.0, 1.0]);
+        let g0: f32 = out.grad_logits.row(0).iter().map(|v| v.abs()).sum();
+        let g1: f32 = out.grad_logits.row(1).iter().map(|v| v.abs()).sum();
+        // Row 0 carries 3× the weight; its gradient mass should dominate
+        // unless row 1 is much harder — with symmetric random logits this
+        // holds with margin for the chosen seed.
+        assert!(g0 > g1, "g0={g0} g1={g1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let _ = softmax_cross_entropy(&logits, &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn rejects_zero_weights() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let _ = weighted_softmax_cross_entropy(&logits, &[0], &[0.0]);
+    }
+}

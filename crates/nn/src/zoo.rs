@@ -1,0 +1,87 @@
+//! The model zoo behind the paper's Figure 1.
+//!
+//! Figure 1 plots the per-epoch ImageNet-1k training time of the
+//! state-of-the-art image classifier of each year on an A100. The zoo
+//! records each model's published forward FLOPs per image and parameter
+//! count; the cost model in [`crate::cost`] turns those into epoch times.
+
+use crate::cost::{epoch_time, DeviceSpec, EpochTime, LoaderSpec};
+
+/// ImageNet-1k training-set size used throughout Figure 1.
+pub const IMAGENET_1K_TRAIN: u64 = 1_281_167;
+
+/// Mean stored JPEG size per ImageNet image in bytes (≈110 KB).
+pub const IMAGENET_BYTES_PER_IMAGE: u64 = 110_000;
+
+/// A published image-classification model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZooEntry {
+    /// Model name.
+    pub name: &'static str,
+    /// Year of publication.
+    pub year: u32,
+    /// Forward FLOPs per image at the model's native resolution.
+    pub forward_flops: u64,
+    /// Parameter count.
+    pub params: u64,
+}
+
+impl ZooEntry {
+    /// Training epoch time on `device` over ImageNet-1k.
+    pub fn imagenet_epoch_time(&self, device: &DeviceSpec) -> EpochTime {
+        epoch_time(
+            device,
+            &LoaderSpec::conventional_host(),
+            IMAGENET_1K_TRAIN,
+            3 * self.forward_flops,
+            IMAGENET_BYTES_PER_IMAGE,
+        )
+    }
+}
+
+/// One representative state-of-the-art classifier per generation,
+/// 2012–2021, with published FLOP/parameter figures.
+pub fn imagenet_models() -> Vec<ZooEntry> {
+    vec![
+        ZooEntry { name: "AlexNet", year: 2012, forward_flops: 1_400_000_000, params: 61_000_000 },
+        ZooEntry { name: "VGG-16", year: 2014, forward_flops: 31_000_000_000, params: 138_000_000 },
+        ZooEntry { name: "GoogLeNet", year: 2014, forward_flops: 3_000_000_000, params: 6_800_000 },
+        ZooEntry { name: "ResNet-50", year: 2015, forward_flops: 8_200_000_000, params: 25_600_000 },
+        ZooEntry { name: "ResNet-152", year: 2016, forward_flops: 23_000_000_000, params: 60_200_000 },
+        ZooEntry { name: "DenseNet-201", year: 2017, forward_flops: 8_600_000_000, params: 20_000_000 },
+        ZooEntry { name: "SENet-154", year: 2018, forward_flops: 41_400_000_000, params: 115_000_000 },
+        ZooEntry { name: "EfficientNet-B7", year: 2019, forward_flops: 74_000_000_000, params: 66_000_000 },
+        ZooEntry { name: "ViT-L/16", year: 2020, forward_flops: 123_000_000_000, params: 307_000_000 },
+        ZooEntry { name: "ViT-H/14", year: 2021, forward_flops: 334_000_000_000, params: 632_000_000 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_is_chronological() {
+        let zoo = imagenet_models();
+        assert!(zoo.windows(2).all(|w| w[0].year <= w[1].year));
+        assert_eq!(zoo.first().unwrap().name, "AlexNet");
+    }
+
+    #[test]
+    fn epoch_time_rises_by_generations() {
+        // The paper's Figure 1 shows an exponential rise in per-epoch time:
+        // the 2021 model should cost well over 10× the 2012 one.
+        let zoo = imagenet_models();
+        let d = DeviceSpec::a100();
+        let first = zoo.first().unwrap().imagenet_epoch_time(&d).total_s();
+        let last = zoo.last().unwrap().imagenet_epoch_time(&d).total_s();
+        assert!(last > 10.0 * first, "first {first}s, last {last}s");
+    }
+
+    #[test]
+    fn alexnet_epoch_is_minutes_not_days() {
+        let d = DeviceSpec::a100();
+        let t = imagenet_models()[0].imagenet_epoch_time(&d).total_s();
+        assert!(t > 60.0 && t < 3600.0, "AlexNet epoch {t}s");
+    }
+}

@@ -1,0 +1,179 @@
+//! Symmetric per-tensor int8 quantization.
+
+use nessa_tensor::Tensor;
+
+/// An int8-quantized tensor with a single symmetric scale.
+///
+/// Values are stored as `q ∈ [−127, 127]` with `x ≈ q · scale`. Symmetric
+/// (zero-point-free) quantization keeps the FPGA MAC path a plain integer
+/// multiply-accumulate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    dims: Vec<usize>,
+    data: Vec<i8>,
+    scale: f32,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor. The scale is `max|x| / 127`; an all-zero tensor
+    /// gets scale `1.0` (every code is zero anyway).
+    pub fn quantize(t: &Tensor) -> Self {
+        let max_abs = t.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let inv = 1.0 / scale;
+        let data = t
+            .as_slice()
+            .iter()
+            .map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Self {
+            dims: t.shape().dims().to_vec(),
+            data,
+            scale,
+        }
+    }
+
+    /// Reconstructs the f32 tensor (`q · scale`).
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.data.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(data, &self.dims)
+    }
+
+    /// The quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Shape dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw int8 codes.
+    pub fn codes(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Bytes this tensor occupies on the wire (codes + scale).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() + std::mem::size_of::<f32>()
+    }
+
+    /// Worst-case absolute reconstruction error (half a step).
+    pub fn error_bound(&self) -> f32 {
+        self.scale * 0.5
+    }
+
+    /// Integer matrix product `self (m×k) · otherᵀ (n×k)` with i32
+    /// accumulation, rescaled to f32 — the arithmetic the FPGA kernel
+    /// performs on its DSP slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or the inner dimensions differ.
+    pub fn qmatmul_transb(&self, other: &QuantizedTensor) -> Tensor {
+        assert_eq!(self.dims.len(), 2, "qmatmul lhs must be 2-D");
+        assert_eq!(other.dims.len(), 2, "qmatmul rhs must be 2-D");
+        let (m, k) = (self.dims[0], self.dims[1]);
+        let (n, k2) = (other.dims[0], other.dims[1]);
+        assert_eq!(k, k2, "qmatmul inner dimensions differ: {k} vs {k2}");
+        let rescale = self.scale * other.scale;
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b = &other.data[j * k..(j + 1) * k];
+                let mut acc: i32 = 0;
+                for (&x, &y) in a.iter().zip(b.iter()) {
+                    acc += x as i32 * y as i32;
+                }
+                out[i * n + j] = acc as f32 * rescale;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nessa_tensor::rng::Rng64;
+
+    #[test]
+    fn round_trip_error_within_bound() {
+        let mut rng = Rng64::new(0);
+        let t = Tensor::rand_uniform(&[20, 20], -3.0, 3.0, &mut rng);
+        let q = QuantizedTensor::quantize(&t);
+        let back = q.dequantize();
+        let bound = q.error_bound() + 1e-6;
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn zero_tensor_round_trips_exactly() {
+        let t = Tensor::zeros(&[4, 4]);
+        let q = QuantizedTensor::quantize(&t);
+        assert_eq!(q.dequantize().as_slice(), t.as_slice());
+        assert_eq!(q.scale(), 1.0);
+    }
+
+    #[test]
+    fn extremes_map_to_127() {
+        let t = Tensor::from_slice(&[-2.0, 0.0, 2.0]);
+        let q = QuantizedTensor::quantize(&t);
+        assert_eq!(q.codes(), &[-127, 0, 127]);
+    }
+
+    #[test]
+    fn payload_is_4x_smaller_than_f32() {
+        let t = Tensor::zeros(&[100]);
+        let q = QuantizedTensor::quantize(&t);
+        assert_eq!(q.payload_bytes(), 104);
+        assert!(q.payload_bytes() * 3 < t.numel() * 4);
+    }
+
+    #[test]
+    fn qmatmul_close_to_f32_matmul() {
+        let mut rng = Rng64::new(1);
+        let a = Tensor::rand_uniform(&[6, 10], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[5, 10], -1.0, 1.0, &mut rng);
+        let exact = a.matmul_transb(&b);
+        let qa = QuantizedTensor::quantize(&a);
+        let qb = QuantizedTensor::quantize(&b);
+        let approx = qa.qmatmul_transb(&qb);
+        for (e, x) in exact.as_slice().iter().zip(approx.as_slice()) {
+            assert!((e - x).abs() < 0.1, "{e} vs {x}");
+        }
+    }
+
+    #[test]
+    fn qmatmul_matches_dequantized_matmul_exactly() {
+        // Integer accumulation then rescale must equal the f32 product of
+        // the dequantized operands (both are exact in f32 at these sizes).
+        let mut rng = Rng64::new(2);
+        let a = Tensor::rand_uniform(&[3, 8], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[4, 8], -2.0, 2.0, &mut rng);
+        let qa = QuantizedTensor::quantize(&a);
+        let qb = QuantizedTensor::quantize(&b);
+        let int_path = qa.qmatmul_transb(&qb);
+        let deq_path = qa.dequantize().matmul_transb(&qb.dequantize());
+        for (x, y) in int_path.as_slice().iter().zip(deq_path.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn qmatmul_rejects_mismatch() {
+        let a = QuantizedTensor::quantize(&Tensor::zeros(&[2, 3]));
+        let b = QuantizedTensor::quantize(&Tensor::zeros(&[2, 4]));
+        let _ = a.qmatmul_transb(&b);
+    }
+}

@@ -1,0 +1,362 @@
+//! Per-class CRAIG selection with NeSSA's dataset-partitioning option.
+//!
+//! CRAIG (Mirzasoleiman et al., ICML '20) selects medoids **within each
+//! class** by facility location over gradient-proxy similarities and weighs
+//! each medoid by its cluster size. NeSSA adapts the same core to the
+//! SmartSSD and adds partitioning (paper §3.2.3): each class's candidate
+//! pool is split into random chunks small enough for the FPGA's 4.32 MB
+//! on-chip memory, and medoids are selected per chunk — turning the
+//! quadratic similarity computation into a sum of small quadratics.
+//!
+//! Per-class work is independent, so classes are processed on a crossbeam
+//! scoped-thread pool.
+
+use crate::facility::{maximize, GreedyVariant, SimilarityMatrix};
+use crate::fraction_count;
+use crate::Selection;
+use nessa_tensor::rng::Rng64;
+use nessa_tensor::Tensor;
+
+/// Options for [`select_per_class`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CraigOptions {
+    /// Greedy maximizer to use inside each class/chunk.
+    pub variant: GreedyVariant,
+    /// Dataset partitioning (paper §3.2.3): split each class into random
+    /// chunks of at most this many candidates and select proportionally
+    /// from each. `None` selects over whole classes.
+    pub partition_chunk: Option<usize>,
+    /// Worker threads for per-class parallelism (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for CraigOptions {
+    fn default() -> Self {
+        Self {
+            variant: GreedyVariant::Lazy,
+            partition_chunk: None,
+            threads: 1,
+        }
+    }
+}
+
+/// Selects `⌈fraction · |class|⌉` medoids from every class of a candidate
+/// pool and returns one merged, globally-indexed [`Selection`].
+///
+/// * `features` — one gradient-proxy row per candidate (`n × d`),
+/// * `labels` — class of each candidate (`labels.len() == n`),
+/// * `classes` — number of classes,
+/// * `fraction` — subset fraction in `(0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the label count differs from the feature rows, `fraction` is
+/// outside `(0, 1]`, or any label is `≥ classes`.
+pub fn select_per_class(
+    features: &Tensor,
+    labels: &[usize],
+    classes: usize,
+    fraction: f32,
+    options: &CraigOptions,
+    rng: &mut Rng64,
+) -> Selection {
+    assert_eq!(features.dim(0), labels.len(), "label count mismatch");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1], got {fraction}"
+    );
+    assert!(labels.iter().all(|&y| y < classes), "label out of range");
+    // Group candidate indices by class.
+    let mut by_class = vec![Vec::new(); classes];
+    for (i, &y) in labels.iter().enumerate() {
+        by_class[y].push(i);
+    }
+    let sim_of =
+        |members: &[usize]| SimilarityMatrix::from_features(&features.gather_rows(members));
+    run_per_class(&sim_of, &by_class, fraction, options, rng)
+}
+
+/// Runs the per-class selection bodies, optionally on a crossbeam
+/// scoped-thread pool. RNGs are pre-split per class so the result is
+/// deterministic regardless of thread interleaving.
+fn run_per_class(
+    sim_of: &(dyn Fn(&[usize]) -> SimilarityMatrix + Sync),
+    by_class: &[Vec<usize>],
+    fraction: f32,
+    options: &CraigOptions,
+    rng: &mut Rng64,
+) -> Selection {
+    let classes = by_class.len();
+    let mut class_rngs: Vec<Rng64> = (0..classes).map(|_| rng.split()).collect();
+    let threads = options.threads.max(1);
+    let mut per_class: Vec<Selection> = Vec::with_capacity(classes);
+    if threads == 1 {
+        for (members, class_rng) in by_class.iter().zip(class_rngs.iter_mut()) {
+            per_class.push(select_one_class_with(sim_of, members, fraction, options, class_rng));
+        }
+    } else {
+        let mut slots: Vec<Option<Selection>> = vec![None; classes];
+        let chunk = classes.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for ((slot_chunk, class_chunk), rng_chunk) in slots
+                .chunks_mut(chunk)
+                .zip(by_class.chunks(chunk))
+                .zip(class_rngs.chunks_mut(chunk))
+            {
+                scope.spawn(move |_| {
+                    for ((slot, members), class_rng) in slot_chunk
+                        .iter_mut()
+                        .zip(class_chunk.iter())
+                        .zip(rng_chunk.iter_mut())
+                    {
+                        *slot = Some(select_one_class_with(
+                            sim_of, members, fraction, options, class_rng,
+                        ));
+                    }
+                });
+            }
+        })
+        .expect("selection worker panicked");
+        per_class.extend(slots.into_iter().map(|s| s.expect("slot filled")));
+    }
+    let mut merged = Selection::default();
+    for sel in per_class {
+        merged.extend(sel);
+    }
+    merged
+}
+
+/// Per-class CRAIG over **factored** (outer-product) gradient proxies:
+/// candidate `i` is `residuals[i] ⊗ features[i]`, compared through the
+/// norm/inner-product factorization so the outer products are never
+/// materialized (see [`SimilarityMatrix::from_factored`]). This is the
+/// memory- and FPGA-faithful path for last-layer gradients.
+///
+/// # Panics
+///
+/// Same conditions as [`select_per_class`], plus a row-count mismatch
+/// between the two factors.
+pub fn select_per_class_factored(
+    residuals: &Tensor,
+    features: &Tensor,
+    labels: &[usize],
+    classes: usize,
+    fraction: f32,
+    options: &CraigOptions,
+    rng: &mut Rng64,
+) -> Selection {
+    assert_eq!(residuals.dim(0), features.dim(0), "factor row counts differ");
+    assert_eq!(residuals.dim(0), labels.len(), "label count mismatch");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1], got {fraction}"
+    );
+    assert!(labels.iter().all(|&y| y < classes), "label out of range");
+    let mut by_class = vec![Vec::new(); classes];
+    for (i, &y) in labels.iter().enumerate() {
+        by_class[y].push(i);
+    }
+    let sim_of = |members: &[usize]| {
+        SimilarityMatrix::from_factored(
+            &residuals.gather_rows(members),
+            &features.gather_rows(members),
+        )
+    };
+    run_per_class(&sim_of, &by_class, fraction, options, rng)
+}
+
+/// Shared per-class body, generic over how a member set becomes a
+/// similarity matrix.
+fn select_one_class_with(
+    sim_of: &dyn Fn(&[usize]) -> SimilarityMatrix,
+    members: &[usize],
+    fraction: f32,
+    options: &CraigOptions,
+    rng: &mut Rng64,
+) -> Selection {
+    if members.is_empty() {
+        return Selection::default();
+    }
+    let k = fraction_count(members.len(), fraction);
+    match options.partition_chunk {
+        None => {
+            let sim = sim_of(members);
+            maximize(&sim, k, options.variant, rng).into_global(members)
+        }
+        Some(chunk_size) => {
+            let chunk_size = chunk_size.max(2);
+            let chunks = members.len().div_ceil(chunk_size).max(1);
+            let parts = rng.random_chunks(members.len(), chunks);
+            let mut merged = Selection::default();
+            for part in parts {
+                if part.is_empty() {
+                    continue;
+                }
+                let global: Vec<usize> = part.iter().map(|&i| members[i]).collect();
+                let k_part = fraction_count(part.len(), fraction);
+                let sim = sim_of(&global);
+                merged.extend(maximize(&sim, k_part, options.variant, rng).into_global(&global));
+            }
+            merged
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two classes, each with two tight clusters at distinct locations.
+    fn toy() -> (Tensor, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let centres = [
+            (0.0f32, 0.0f32, 0usize),
+            (8.0, 0.0, 0),
+            (0.0, 8.0, 1),
+            (8.0, 8.0, 1),
+        ];
+        for &(cx, cy, y) in &centres {
+            for d in 0..5 {
+                rows.push(cx + 0.05 * d as f32);
+                rows.push(cy + 0.05 * d as f32);
+                labels.push(y);
+            }
+        }
+        (Tensor::from_vec(rows, &[20, 2]), labels)
+    }
+
+    #[test]
+    fn respects_fraction_per_class() {
+        let (x, y) = toy();
+        let mut rng = Rng64::new(0);
+        let sel = select_per_class(&x, &y, 2, 0.2, &CraigOptions::default(), &mut rng);
+        assert_eq!(sel.len(), 4); // ceil(10 * 0.2) per class.
+        // Selected labels split evenly.
+        let c0 = sel.indices.iter().filter(|&&i| y[i] == 0).count();
+        assert_eq!(c0, 2);
+    }
+
+    #[test]
+    fn selects_cluster_representatives() {
+        let (x, y) = toy();
+        let mut rng = Rng64::new(1);
+        let sel = select_per_class(&x, &y, 2, 0.2, &CraigOptions::default(), &mut rng);
+        // With 2 picks per class and 2 clusters per class, facility location
+        // should cover both clusters of each class.
+        let cluster_of = |i: usize| i / 5;
+        for class in 0..2 {
+            let mut clusters: Vec<usize> = sel
+                .indices
+                .iter()
+                .filter(|&&i| y[i] == class)
+                .map(|&i| cluster_of(i))
+                .collect();
+            clusters.sort_unstable();
+            clusters.dedup();
+            assert_eq!(clusters.len(), 2, "class {class} missing a cluster");
+        }
+    }
+
+    #[test]
+    fn weights_cover_whole_class() {
+        let (x, y) = toy();
+        let mut rng = Rng64::new(2);
+        let sel = select_per_class(&x, &y, 2, 0.4, &CraigOptions::default(), &mut rng);
+        let total: f32 = sel.weights.iter().sum();
+        assert_eq!(total, 20.0);
+    }
+
+    #[test]
+    fn partitioned_selection_still_covers() {
+        let (x, y) = toy();
+        let mut rng = Rng64::new(3);
+        let opts = CraigOptions {
+            partition_chunk: Some(5),
+            ..CraigOptions::default()
+        };
+        let sel = select_per_class(&x, &y, 2, 0.4, &opts, &mut rng);
+        assert!(sel.len() >= 4);
+        let total: f32 = sel.weights.iter().sum();
+        assert_eq!(total, 20.0);
+        // All indices valid and distinct.
+        let mut sorted = sel.indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), sel.len());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (x, y) = toy();
+        let seq = select_per_class(
+            &x,
+            &y,
+            2,
+            0.3,
+            &CraigOptions { threads: 1, ..CraigOptions::default() },
+            &mut Rng64::new(7),
+        );
+        let par = select_per_class(
+            &x,
+            &y,
+            2,
+            0.3,
+            &CraigOptions { threads: 4, ..CraigOptions::default() },
+            &mut Rng64::new(7),
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn fraction_one_selects_everything() {
+        let (x, y) = toy();
+        let mut rng = Rng64::new(4);
+        let sel = select_per_class(&x, &y, 2, 1.0, &CraigOptions::default(), &mut rng);
+        assert_eq!(sel.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn rejects_bad_fraction() {
+        let (x, y) = toy();
+        let mut rng = Rng64::new(5);
+        let _ = select_per_class(&x, &y, 2, 0.0, &CraigOptions::default(), &mut rng);
+    }
+
+    #[test]
+    fn factored_matches_materialized_outer_products() {
+        // residual factor a (n×3) and feature factor b (n×4): selection
+        // over the factored space must equal selection over the explicit
+        // outer products.
+        let mut rng = Rng64::new(11);
+        let n = 24;
+        let a = Tensor::rand_uniform(&[n, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[n, 4], -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        // Materialize the outer products.
+        let mut flat = Tensor::zeros(&[n, 12]);
+        for i in 0..n {
+            for (ci, &av) in a.row(i).iter().enumerate() {
+                for (fi, &bv) in b.row(i).iter().enumerate() {
+                    flat.set(&[i, ci * 4 + fi], av * bv);
+                }
+            }
+        }
+        let opts = CraigOptions::default();
+        let sel_flat = select_per_class(&flat, &labels, 2, 0.25, &opts, &mut Rng64::new(3));
+        let sel_fact =
+            select_per_class_factored(&a, &b, &labels, 2, 0.25, &opts, &mut Rng64::new(3));
+        assert_eq!(sel_flat.indices, sel_fact.indices);
+        assert_eq!(sel_flat.weights, sel_fact.weights);
+    }
+
+    #[test]
+    fn empty_class_is_skipped() {
+        let (x, y) = toy();
+        let mut rng = Rng64::new(6);
+        // Declare 3 classes; class 2 has no members.
+        let sel = select_per_class(&x, &y, 3, 0.2, &CraigOptions::default(), &mut rng);
+        assert_eq!(sel.len(), 4);
+    }
+}

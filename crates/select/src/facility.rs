@@ -1,0 +1,506 @@
+//! The facility-location objective and its greedy maximizers.
+//!
+//! Given candidates with pairwise similarities `sim(i, j)`, the objective
+//! of paper Eq. 5 is `F(S) = Σ_i max_{j∈S} sim(i, j)`. `F` is monotone
+//! submodular, so greedy maximization achieves a `(1 − 1/e)` guarantee
+//! (Nemhauser et al.); the lazy variant (Minoux '78) and the stochastic
+//! variant (Mirzasoleiman et al. '15, "lazier than lazy greedy") produce
+//! the same quality at a fraction of the evaluations — the property that
+//! makes the kernel cheap enough for the SmartSSD FPGA.
+
+use crate::Selection;
+use nessa_tensor::linalg::pairwise_sq_dists;
+use nessa_tensor::rng::Rng64;
+use nessa_tensor::Tensor;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A dense pairwise-similarity matrix for facility-location selection.
+///
+/// Built from squared Euclidean distances via `sim = c0 − d²` where
+/// `c0 = max d²` (the constant of paper Eq. 5), so all similarities are
+/// non-negative and self-similarity is maximal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityMatrix {
+    n: usize,
+    /// Row-major `n × n` similarities.
+    sim: Vec<f32>,
+}
+
+impl SimilarityMatrix {
+    /// Builds the similarity matrix of a set of feature rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is not 2-D.
+    pub fn from_features(features: &Tensor) -> Self {
+        let d = pairwise_sq_dists(features);
+        let n = d.dim(0);
+        let c0 = d.max().max(0.0);
+        let sim = d.as_slice().iter().map(|&v| c0 - v).collect();
+        Self { n, sim }
+    }
+
+    /// Builds the similarity matrix of a *product space*: candidate `i` is
+    /// the outer product `a_i ⊗ b_i` of a row of `a` and a row of `b`, but
+    /// distances are computed through the factorization
+    /// `‖a_i⊗b_i − a_j⊗b_j‖² = ‖a_i‖²‖b_i‖² + ‖a_j‖²‖b_j‖² −
+    /// 2 (a_i·a_j)(b_i·b_j)` — `O(dim_a + dim_b)` per pair instead of
+    /// `O(dim_a · dim_b)`. This is how NeSSA's FPGA kernel compares
+    /// last-layer gradients (residual ⊗ feature) without materializing
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factors are not 2-D or have different row counts.
+    pub fn from_factored(a: &Tensor, b: &Tensor) -> Self {
+        assert_eq!(a.ndim(), 2, "factor a must be 2-D");
+        assert_eq!(b.ndim(), 2, "factor b must be 2-D");
+        assert_eq!(a.dim(0), b.dim(0), "factors must have equal row counts");
+        let n = a.dim(0);
+        let ga = a.matmul_transb(a);
+        let gb = b.matmul_transb(b);
+        let sq: Vec<f32> = (0..n).map(|i| ga.at(&[i, i]) * gb.at(&[i, i])).collect();
+        let mut dists = vec![0.0f32; n * n];
+        let mut c0 = 0.0f32;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let d = (sq[i] + sq[j] - 2.0 * ga.at(&[i, j]) * gb.at(&[i, j])).max(0.0);
+                dists[i * n + j] = d;
+                c0 = c0.max(d);
+            }
+        }
+        let sim = dists.iter().map(|&d| c0 - d).collect();
+        Self { n, sim }
+    }
+
+    /// Builds directly from a precomputed squared-distance matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dists` is not square.
+    pub fn from_sq_dists(dists: &Tensor) -> Self {
+        assert_eq!(dists.ndim(), 2, "distance matrix must be 2-D");
+        assert_eq!(dists.dim(0), dists.dim(1), "distance matrix must be square");
+        let n = dists.dim(0);
+        let c0 = dists.max().max(0.0);
+        let sim = dists.as_slice().iter().map(|&v| c0 - v).collect();
+        Self { n, sim }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Similarity between candidates `i` and `j`.
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        self.sim[i * self.n + j]
+    }
+
+    /// Row `j` of the matrix: similarity of every candidate to `j`.
+    pub fn row(&self, j: usize) -> &[f32] {
+        &self.sim[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Evaluates `F(S) = Σ_i max_{j∈S} sim(i, j)` (`0.0` for the empty set).
+    pub fn objective(&self, set: &[usize]) -> f32 {
+        if set.is_empty() {
+            return 0.0;
+        }
+        (0..self.n)
+            .map(|i| {
+                set.iter()
+                    .map(|&j| self.at(i, j))
+                    .fold(f32::NEG_INFINITY, f32::max)
+            })
+            .sum()
+    }
+
+    /// CRAIG weights for a solution: candidate `i` is assigned to its most
+    /// similar selected medoid; each medoid's weight is its assignment
+    /// count. A selected candidate always assigns to itself (self-
+    /// similarity is maximal; ties between duplicate rows resolve to
+    /// self), so every weight is ≥ 1 and weights sum to `n` for a
+    /// non-empty solution.
+    pub fn weights(&self, set: &[usize]) -> Vec<f32> {
+        let mut w = vec![0.0f32; set.len()];
+        if set.is_empty() {
+            return w;
+        }
+        let mut position_of = std::collections::HashMap::with_capacity(set.len());
+        for (si, &j) in set.iter().enumerate() {
+            position_of.entry(j).or_insert(si);
+        }
+        for i in 0..self.n {
+            if let Some(&si) = position_of.get(&i) {
+                w[si] += 1.0;
+                continue;
+            }
+            let mut best = 0;
+            let mut best_s = f32::NEG_INFINITY;
+            for (si, &j) in set.iter().enumerate() {
+                let s = self.at(i, j);
+                if s > best_s {
+                    best_s = s;
+                    best = si;
+                }
+            }
+            w[best] += 1.0;
+        }
+        w
+    }
+}
+
+/// Which greedy maximizer to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GreedyVariant {
+    /// Recompute every marginal gain each round: `O(n²k)` similarity reads.
+    Naive,
+    /// Minoux's lazy greedy with an upper-bound priority queue.
+    Lazy,
+    /// Stochastic greedy: each round evaluates a random sample of
+    /// `⌈(n/k)·ln(1/ε)⌉` candidates (Mirzasoleiman et al. '15).
+    Stochastic {
+        /// Approximation slack ε ∈ (0, 1); expected guarantee `1 − 1/e − ε`.
+        epsilon: f32,
+    },
+}
+
+/// Maximizes the facility-location objective, selecting at most `k`
+/// candidates, and returns the selection with CRAIG weights.
+///
+/// `k ≥ n` returns all candidates. The RNG is only consulted by
+/// [`GreedyVariant::Stochastic`].
+pub fn maximize(
+    sim: &SimilarityMatrix,
+    k: usize,
+    variant: GreedyVariant,
+    rng: &mut Rng64,
+) -> Selection {
+    let n = sim.len();
+    if n == 0 || k == 0 {
+        return Selection::default();
+    }
+    if k >= n {
+        let indices: Vec<usize> = (0..n).collect();
+        let weights = sim.weights(&indices);
+        return Selection::new(indices, weights);
+    }
+    let set = match variant {
+        GreedyVariant::Naive => naive_greedy(sim, k),
+        GreedyVariant::Lazy => lazy_greedy(sim, k),
+        GreedyVariant::Stochastic { epsilon } => stochastic_greedy(sim, k, epsilon, rng),
+    };
+    let weights = sim.weights(&set);
+    Selection::new(set, weights)
+}
+
+fn naive_greedy(sim: &SimilarityMatrix, k: usize) -> Vec<usize> {
+    let n = sim.len();
+    let mut coverage = vec![f32::NEG_INFINITY; n];
+    let mut chosen = Vec::with_capacity(k);
+    let mut in_set = vec![false; n];
+    for _ in 0..k {
+        let mut best = None;
+        let mut best_gain = f32::NEG_INFINITY;
+        for (j, &taken) in in_set.iter().enumerate() {
+            if taken {
+                continue;
+            }
+            let g = gain_from(sim, j, &coverage);
+            if g > best_gain {
+                best_gain = g;
+                best = Some(j);
+            }
+        }
+        let j = best.expect("k < n guarantees a candidate");
+        in_set[j] = true;
+        chosen.push(j);
+        absorb_from(sim, j, &mut coverage);
+    }
+    chosen
+}
+
+/// Gain with `NEG_INFINITY` coverage meaning "uncovered": the first chosen
+/// medoid earns the full similarity column.
+fn gain_from(sim: &SimilarityMatrix, j: usize, coverage: &[f32]) -> f32 {
+    sim.row(j)
+        .iter()
+        .zip(coverage.iter())
+        .map(|(&s, &c)| if c == f32::NEG_INFINITY { s } else { (s - c).max(0.0) })
+        .sum()
+}
+
+fn absorb_from(sim: &SimilarityMatrix, j: usize, coverage: &mut [f32]) {
+    for (c, &s) in coverage.iter_mut().zip(sim.row(j)) {
+        if s > *c {
+            *c = s;
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    gain: f32,
+    index: usize,
+    /// The solution size when this gain was computed; stale entries are
+    /// recomputed on pop (submodularity makes stored gains upper bounds).
+    round: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn lazy_greedy(sim: &SimilarityMatrix, k: usize) -> Vec<usize> {
+    let n = sim.len();
+    let mut coverage = vec![f32::NEG_INFINITY; n];
+    let mut chosen = Vec::with_capacity(k);
+    let mut heap: BinaryHeap<HeapEntry> = (0..n)
+        .map(|j| HeapEntry {
+            gain: gain_from(sim, j, &coverage),
+            index: j,
+            round: 0,
+        })
+        .collect();
+    let mut in_set = vec![false; n];
+    while chosen.len() < k {
+        let top = heap.pop().expect("heap cannot drain before k < n picks");
+        if in_set[top.index] {
+            continue;
+        }
+        if top.round == chosen.len() {
+            in_set[top.index] = true;
+            chosen.push(top.index);
+            absorb_from(sim, top.index, &mut coverage);
+        } else {
+            heap.push(HeapEntry {
+                gain: gain_from(sim, top.index, &coverage),
+                index: top.index,
+                round: chosen.len(),
+            });
+        }
+    }
+    chosen
+}
+
+fn stochastic_greedy(sim: &SimilarityMatrix, k: usize, epsilon: f32, rng: &mut Rng64) -> Vec<usize> {
+    let n = sim.len();
+    let eps = epsilon.clamp(1e-4, 0.99);
+    let sample = (((n as f64 / k as f64) * (1.0 / eps as f64).ln()).ceil() as usize).max(1);
+    let mut coverage = vec![f32::NEG_INFINITY; n];
+    let mut chosen = Vec::with_capacity(k);
+    let mut in_set = vec![false; n];
+    let mut remaining: Vec<usize> = (0..n).collect();
+    for _ in 0..k {
+        // Draw the candidate sample from the remaining pool.
+        let s = sample.min(remaining.len());
+        for i in 0..s {
+            let j = i + rng.index(remaining.len() - i);
+            remaining.swap(i, j);
+        }
+        let mut best = remaining[0];
+        let mut best_gain = f32::NEG_INFINITY;
+        for &j in remaining.iter().take(s) {
+            let g = gain_from(sim, j, &coverage);
+            if g > best_gain {
+                best_gain = g;
+                best = j;
+            }
+        }
+        in_set[best] = true;
+        chosen.push(best);
+        absorb_from(sim, best, &mut coverage);
+        remaining.retain(|&j| !in_set[j]);
+        if remaining.is_empty() {
+            break;
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_features() -> Tensor {
+        // Three tight clusters of 4 points each around (0,0), (10,0), (0,10).
+        let mut rows = Vec::new();
+        for (cx, cy) in [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)] {
+            for d in 0..4 {
+                rows.push(cx + 0.1 * d as f32);
+                rows.push(cy - 0.1 * d as f32);
+            }
+        }
+        Tensor::from_vec(rows, &[12, 2])
+    }
+
+    #[test]
+    fn objective_is_monotone() {
+        let sim = SimilarityMatrix::from_features(&clustered_features());
+        let mut set = Vec::new();
+        let mut prev = sim.objective(&set);
+        for j in [0, 4, 8, 1] {
+            set.push(j);
+            let cur = sim.objective(&set);
+            assert!(cur >= prev - 1e-3, "{cur} < {prev}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn greedy_picks_one_per_cluster() {
+        let sim = SimilarityMatrix::from_features(&clustered_features());
+        let mut rng = Rng64::new(0);
+        let sel = maximize(&sim, 3, GreedyVariant::Naive, &mut rng);
+        let clusters: Vec<usize> = sel.indices.iter().map(|&i| i / 4).collect();
+        let mut sorted = clusters.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "selected {:?}", sel.indices);
+    }
+
+    #[test]
+    fn lazy_matches_naive() {
+        let mut rng = Rng64::new(1);
+        let x = Tensor::rand_uniform(&[40, 6], -1.0, 1.0, &mut rng);
+        let sim = SimilarityMatrix::from_features(&x);
+        for k in [1, 3, 10, 25] {
+            let naive = naive_greedy(&sim, k);
+            let lazy = lazy_greedy(&sim, k);
+            // Tie-breaking may differ; the objectives must match exactly
+            // up to float noise.
+            let fo_n = sim.objective(&naive);
+            let fo_l = sim.objective(&lazy);
+            assert!(
+                (fo_n - fo_l).abs() <= 1e-2 * fo_n.abs().max(1.0),
+                "k={k}: naive {fo_n} vs lazy {fo_l}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_achieves_submodular_bound_vs_bruteforce() {
+        // On a small instance, greedy must reach ≥ (1 − 1/e) of optimum.
+        let mut rng = Rng64::new(2);
+        let x = Tensor::rand_uniform(&[10, 3], -1.0, 1.0, &mut rng);
+        let sim = SimilarityMatrix::from_features(&x);
+        let k = 3;
+        let mut best = f32::NEG_INFINITY;
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                for c in (b + 1)..10 {
+                    best = best.max(sim.objective(&[a, b, c]));
+                }
+            }
+        }
+        let greedy = sim.objective(&naive_greedy(&sim, k));
+        assert!(
+            greedy >= (1.0 - 1.0 / std::f32::consts::E) * best - 1e-3,
+            "greedy {greedy} vs optimum {best}"
+        );
+    }
+
+    #[test]
+    fn stochastic_is_close_to_greedy() {
+        let mut rng = Rng64::new(3);
+        let x = Tensor::rand_uniform(&[60, 4], -1.0, 1.0, &mut rng);
+        let sim = SimilarityMatrix::from_features(&x);
+        let exact = sim.objective(&naive_greedy(&sim, 10));
+        let mut worst: f32 = f32::INFINITY;
+        for seed in 0..5 {
+            let mut r = Rng64::new(seed);
+            let s = stochastic_greedy(&sim, 10, 0.1, &mut r);
+            worst = worst.min(sim.objective(&s));
+        }
+        assert!(worst >= 0.85 * exact, "stochastic {worst} vs exact {exact}");
+    }
+
+    #[test]
+    fn weights_sum_to_n() {
+        let sim = SimilarityMatrix::from_features(&clustered_features());
+        let mut rng = Rng64::new(4);
+        let sel = maximize(&sim, 3, GreedyVariant::Lazy, &mut rng);
+        let total: f32 = sel.weights.iter().sum();
+        assert_eq!(total, 12.0);
+        // Balanced clusters ⇒ each medoid represents ~4 points.
+        assert!(sel.weights.iter().all(|&w| (w - 4.0).abs() < 1.5));
+    }
+
+    #[test]
+    fn k_zero_and_k_ge_n() {
+        let sim = SimilarityMatrix::from_features(&clustered_features());
+        let mut rng = Rng64::new(5);
+        assert!(maximize(&sim, 0, GreedyVariant::Naive, &mut rng).is_empty());
+        let all = maximize(&sim, 100, GreedyVariant::Naive, &mut rng);
+        assert_eq!(all.len(), 12);
+        let total: f32 = all.weights.iter().sum();
+        assert_eq!(total, 12.0);
+    }
+
+    #[test]
+    fn empty_candidate_set() {
+        let sim = SimilarityMatrix::from_features(&Tensor::zeros(&[0, 3]));
+        let mut rng = Rng64::new(6);
+        assert!(maximize(&sim, 5, GreedyVariant::Lazy, &mut rng).is_empty());
+        assert!(sim.is_empty());
+    }
+
+    #[test]
+    fn marginal_gains_diminish() {
+        // Submodularity: the gain of the (t+1)-th greedy pick never exceeds
+        // the gain of the t-th pick.
+        let mut rng = Rng64::new(7);
+        let x = Tensor::rand_uniform(&[30, 5], -1.0, 1.0, &mut rng);
+        let sim = SimilarityMatrix::from_features(&x);
+        let mut coverage = vec![f32::NEG_INFINITY; 30];
+        let mut prev_gain = f32::INFINITY;
+        for _ in 0..8 {
+            let mut best = 0;
+            let mut best_gain = f32::NEG_INFINITY;
+            for j in 0..30 {
+                let g = gain_from(&sim, j, &coverage);
+                if g > best_gain {
+                    best_gain = g;
+                    best = j;
+                }
+            }
+            assert!(best_gain <= prev_gain + 1e-3);
+            prev_gain = best_gain;
+            absorb_from(&sim, best, &mut coverage);
+        }
+    }
+
+    #[test]
+    fn absorb_is_idempotent() {
+        let sim = SimilarityMatrix::from_features(&clustered_features());
+        let mut coverage = vec![f32::NEG_INFINITY; 12];
+        absorb_from(&sim, 0, &mut coverage);
+        let snapshot = coverage.clone();
+        absorb_from(&sim, 0, &mut coverage);
+        assert_eq!(coverage, snapshot);
+        // After absorbing j, j's own marginal gain is zero.
+        assert_eq!(gain_from(&sim, 0, &coverage), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Two-round distributed submodular maximization (GreeDi).
+//!
+//! The paper notes (§3.1) that its selection model "can be further
+//! improved using lazy evaluation \[41\] and distributed implementations
+//! \[42\]". \[42\] is GreeDi (Mirzasoleiman et al., NeurIPS '13): partition
+//! the ground set across `m` machines, greedily pick `k` on each, then run
+//! a second greedy round over the union of the per-machine picks. GreeDi's
+//! solution is within a provable factor of the centralized greedy one.
+//!
+//! On NeSSA's hardware this is the natural multi-SmartSSD scaling story
+//! (the paper's stated future work): each drive selects locally from its
+//! shard; a host-side reducer merges.
+
+use crate::facility::{maximize, GreedyVariant, SimilarityMatrix};
+use crate::Selection;
+use nessa_tensor::rng::Rng64;
+use nessa_tensor::Tensor;
+
+/// Runs two-round GreeDi over `features`, selecting `k` with `machines`
+/// partitions. Falls back to plain greedy when `machines <= 1` or the
+/// pool is small. Weights are computed over the full candidate set, so
+/// they remain CRAIG-compatible.
+///
+/// # Panics
+///
+/// Panics if `features` is not 2-D.
+pub fn greedi(
+    features: &Tensor,
+    k: usize,
+    machines: usize,
+    variant: GreedyVariant,
+    rng: &mut Rng64,
+) -> Selection {
+    let n = features.dim(0);
+    if n == 0 || k == 0 {
+        return Selection::default();
+    }
+    if machines <= 1 || n <= 2 * k {
+        let sim = SimilarityMatrix::from_features(features);
+        return maximize(&sim, k, variant, rng);
+    }
+    // Round 1: each machine greedily picks k from its shard.
+    let shards = rng.random_chunks(n, machines);
+    let mut union: Vec<usize> = Vec::new();
+    for shard in &shards {
+        if shard.is_empty() {
+            continue;
+        }
+        let sub = features.gather_rows(shard);
+        let sim = SimilarityMatrix::from_features(&sub);
+        let local = maximize(&sim, k.min(shard.len()), variant, rng);
+        union.extend(local.indices.iter().map(|&i| shard[i]));
+    }
+    // Round 2: greedy over the union.
+    let sub = features.gather_rows(&union);
+    let sim = SimilarityMatrix::from_features(&sub);
+    let merged = maximize(&sim, k.min(union.len()), variant, rng);
+    let global: Vec<usize> = merged.indices.iter().map(|&i| union[i]).collect();
+    // Re-derive weights over the FULL ground set so training weights keep
+    // representing every candidate.
+    let full_sim = SimilarityMatrix::from_features(features);
+    let weights = full_sim.weights(&global);
+    Selection::new(global, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered(n: usize, clusters: usize, seed: u64) -> Tensor {
+        let mut rng = Rng64::new(seed);
+        let centres = Tensor::randn(&[clusters, 6], 0.0, 6.0, &mut rng);
+        let mut rows = Vec::with_capacity(n * 6);
+        for i in 0..n {
+            for &c in centres.row(i % clusters) {
+                rows.push(c + rng.normal(0.0, 0.4));
+            }
+        }
+        Tensor::from_vec(rows, &[n, 6])
+    }
+
+    #[test]
+    fn greedi_close_to_centralized_greedy() {
+        let feats = clustered(120, 6, 1);
+        let sim = SimilarityMatrix::from_features(&feats);
+        let mut rng = Rng64::new(2);
+        let central = maximize(&sim, 6, GreedyVariant::Lazy, &mut rng);
+        let distributed = greedi(&feats, 6, 4, GreedyVariant::Lazy, &mut rng);
+        let fc = sim.objective(&central.indices);
+        let fd = sim.objective(&distributed.indices);
+        assert!(fd >= 0.9 * fc, "greedi {fd} vs central {fc}");
+    }
+
+    #[test]
+    fn greedi_covers_every_cluster() {
+        let feats = clustered(120, 6, 3);
+        let mut rng = Rng64::new(4);
+        let sel = greedi(&feats, 6, 3, GreedyVariant::Lazy, &mut rng);
+        let mut hit: Vec<usize> = sel.indices.iter().map(|&i| i % 6).collect();
+        hit.sort_unstable();
+        hit.dedup();
+        assert_eq!(hit.len(), 6, "clusters covered: {hit:?}");
+    }
+
+    #[test]
+    fn weights_cover_full_ground_set() {
+        let feats = clustered(90, 3, 5);
+        let mut rng = Rng64::new(6);
+        let sel = greedi(&feats, 3, 3, GreedyVariant::Lazy, &mut rng);
+        let total: f32 = sel.weights.iter().sum();
+        assert_eq!(total, 90.0);
+    }
+
+    #[test]
+    fn single_machine_falls_back_to_greedy() {
+        let feats = clustered(40, 4, 7);
+        let sim = SimilarityMatrix::from_features(&feats);
+        let a = greedi(&feats, 4, 1, GreedyVariant::Lazy, &mut Rng64::new(8));
+        let b = maximize(&sim, 4, GreedyVariant::Lazy, &mut Rng64::new(8));
+        assert_eq!(a.indices, b.indices);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = Tensor::zeros(&[0, 3]);
+        let mut rng = Rng64::new(9);
+        assert!(greedi(&empty, 3, 2, GreedyVariant::Naive, &mut rng).is_empty());
+        let feats = clustered(10, 2, 10);
+        assert!(greedi(&feats, 0, 2, GreedyVariant::Naive, &mut rng).is_empty());
+    }
+}

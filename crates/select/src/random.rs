@@ -1,0 +1,101 @@
+//! Uniform random selection baseline.
+
+use crate::{fraction_count, Selection};
+use nessa_tensor::rng::Rng64;
+
+/// Selects `k` candidates uniformly at random from a pool of `n`, with all
+/// weights equal to `n / k` so the weighted gradient remains an unbiased
+/// estimate of the full-pool gradient.
+///
+/// `k ≥ n` returns all candidates with unit weights.
+pub fn select(n: usize, k: usize, rng: &mut Rng64) -> Selection {
+    if n == 0 || k == 0 {
+        return Selection::default();
+    }
+    let k = k.min(n);
+    let indices = rng.sample_indices(n, k);
+    let w = n as f32 / k as f32;
+    let weights = vec![w; k];
+    Selection::new(indices, weights)
+}
+
+/// Selects `⌈fraction · |class|⌉` candidates uniformly within each class.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `(0, 1]` or any label is `≥ classes`.
+pub fn select_per_class(
+    labels: &[usize],
+    classes: usize,
+    fraction: f32,
+    rng: &mut Rng64,
+) -> Selection {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1], got {fraction}"
+    );
+    assert!(labels.iter().all(|&y| y < classes), "label out of range");
+    let mut by_class = vec![Vec::new(); classes];
+    for (i, &y) in labels.iter().enumerate() {
+        by_class[y].push(i);
+    }
+    let mut merged = Selection::default();
+    for members in &by_class {
+        if members.is_empty() {
+            continue;
+        }
+        let k = fraction_count(members.len(), fraction);
+        merged.extend(select(members.len(), k, rng).into_global(members));
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn selects_distinct_indices() {
+        let mut rng = Rng64::new(0);
+        let sel = select(50, 10, &mut rng);
+        assert_eq!(sel.len(), 10);
+        let set: HashSet<_> = sel.indices.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(sel.weights.iter().all(|&w| w == 5.0));
+    }
+
+    #[test]
+    fn weights_preserve_total_mass() {
+        let mut rng = Rng64::new(1);
+        let sel = select(100, 25, &mut rng);
+        let total: f32 = sel.weights.iter().sum();
+        assert_eq!(total, 100.0);
+    }
+
+    #[test]
+    fn k_ge_n_selects_all() {
+        let mut rng = Rng64::new(2);
+        let sel = select(5, 10, &mut rng);
+        assert_eq!(sel.len(), 5);
+        assert!(sel.weights.iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn per_class_is_stratified() {
+        let labels: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let mut rng = Rng64::new(3);
+        let sel = select_per_class(&labels, 4, 0.3, &mut rng);
+        for c in 0..4 {
+            let picks = sel.indices.iter().filter(|&&i| labels[i] == c).count();
+            assert_eq!(picks, 3, "class {c}");
+        }
+    }
+
+    #[test]
+    fn empty_pool() {
+        let mut rng = Rng64::new(4);
+        assert!(select(0, 3, &mut rng).is_empty());
+        assert!(select(3, 0, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the selection algorithms.
+
+use nessa_select::craig::{select_per_class, select_per_class_factored, CraigOptions};
+use nessa_select::facility::{maximize, GreedyVariant, SimilarityMatrix};
+use nessa_select::{fraction_count, kcenters, kmedoids, random};
+use nessa_tensor::rng::Rng64;
+use nessa_tensor::Tensor;
+use proptest::prelude::*;
+
+fn features(n: usize, d: usize, seed: u64) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    Tensor::rand_uniform(&[n, d], -3.0, 3.0, &mut rng)
+}
+
+fn labels(n: usize, classes: usize, seed: u64) -> Vec<usize> {
+    let mut rng = Rng64::new(seed);
+    (0..n).map(|_| rng.index(classes)).collect()
+}
+
+proptest! {
+    #[test]
+    fn greedy_objective_grows_with_k(n in 4usize..24, d in 1usize..5, seed in any::<u64>()) {
+        let sim = SimilarityMatrix::from_features(&features(n, d, seed));
+        let mut rng = Rng64::new(seed ^ 1);
+        let mut prev = 0.0f32;
+        for k in 1..=n.min(6) {
+            let sel = maximize(&sim, k, GreedyVariant::Lazy, &mut rng);
+            let f = sim.objective(&sel.indices);
+            prop_assert!(f >= prev - 1e-3 * prev.abs().max(1.0), "k={}: {} < {}", k, f, prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn per_class_selection_is_stratified(
+        n in 8usize..60, classes in 2usize..5, f in 0.1f32..0.9, seed in any::<u64>()
+    ) {
+        let feats = features(n, 4, seed);
+        let ys = labels(n, classes, seed ^ 2);
+        let mut rng = Rng64::new(seed ^ 3);
+        let sel = select_per_class(&feats, &ys, classes, f, &CraigOptions::default(), &mut rng);
+        // Every selected index has a valid label; per-class counts honour
+        // fraction_count.
+        let mut per_class = vec![0usize; classes];
+        for &i in &sel.indices {
+            per_class[ys[i]] += 1;
+        }
+        let mut sizes = vec![0usize; classes];
+        for &y in &ys {
+            sizes[y] += 1;
+        }
+        for c in 0..classes {
+            prop_assert_eq!(per_class[c], fraction_count(sizes[c], f), "class {}", c);
+        }
+        // Weights cover the whole pool.
+        let total: f32 = sel.weights.iter().sum();
+        prop_assert!((total - n as f32).abs() < 1e-3);
+    }
+
+    #[test]
+    fn factored_equals_flat_on_rank_one_case(
+        n in 4usize..20, c in 2usize..4, seed in any::<u64>()
+    ) {
+        // Features with a constant second factor reduce the outer-product
+        // distance to a scaled flat distance.
+        let a = features(n, c, seed);
+        let ones = Tensor::ones(&[n, 1]);
+        let ys = labels(n, 2, seed ^ 4);
+        let opts = CraigOptions::default();
+        let flat = select_per_class(&a, &ys, 2, 0.5, &opts, &mut Rng64::new(9));
+        let fact = select_per_class_factored(&a, &ones, &ys, 2, 0.5, &opts, &mut Rng64::new(9));
+        prop_assert_eq!(flat.indices, fact.indices);
+    }
+
+    #[test]
+    fn kcenters_weights_cover_pool(n in 2usize..40, k in 1usize..10, seed in any::<u64>()) {
+        let feats = features(n, 3, seed);
+        let mut rng = Rng64::new(seed ^ 5);
+        let sel = kcenters::select(&feats, k, &mut rng);
+        let total: f32 = sel.weights.iter().sum();
+        prop_assert!((total - n as f32).abs() < 1e-3);
+        prop_assert!(sel.weights.iter().all(|&w| w >= 1.0));
+    }
+
+    #[test]
+    fn kmedoids_refine_never_worsens(n in 4usize..24, k in 1usize..5, seed in any::<u64>()) {
+        let feats = features(n, 3, seed);
+        let mut rng = Rng64::new(seed ^ 6);
+        let start = rng.sample_indices(n, k.min(n));
+        let before = kmedoids::cost(&feats, &start);
+        let refined = kmedoids::refine(&feats, &start, 10);
+        let after = kmedoids::cost(&feats, &refined.indices);
+        prop_assert!(after <= before + 1e-3);
+    }
+
+    #[test]
+    fn random_selection_weights_are_unbiased(n in 1usize..200, k in 1usize..50, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let sel = random::select(n, k, &mut rng);
+        let total: f32 = sel.weights.iter().sum();
+        prop_assert!((total - n as f32).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Multi-SmartSSD scaling (the paper's stated future work: "extending
+//! this work for larger datasets and models scaling over multiple
+//! SmartSSDs and GPUs").
+//!
+//! A [`SsdCluster`] shards a dataset across several drives; each drive
+//! scans its shard and selects locally (the GreeDi round-1 of
+//! `nessa-select`), then ships its local picks over the interconnect for
+//! the host-side merge (round 2). Drives operate in parallel, so the
+//! wall-clock of a phase is the slowest drive's time; bytes and energy are
+//! summed.
+
+use crate::device::{SmartSsd, SmartSsdConfig, TrafficStats};
+use crate::fpga::{KernelError, KernelProfile};
+
+/// A fleet of identical SmartSSDs holding one dataset in shards.
+#[derive(Debug, Clone)]
+pub struct SsdCluster {
+    drives: Vec<SmartSsd>,
+    /// Wall-clock seconds (parallel phases take the max across drives).
+    elapsed_s: f64,
+}
+
+impl SsdCluster {
+    /// Creates a cluster of `n` drives with the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, config: SmartSsdConfig) -> Self {
+        assert!(n > 0, "a cluster needs at least one drive");
+        Self {
+            drives: (0..n).map(|_| SmartSsd::new(config)).collect(),
+            elapsed_s: 0.0,
+        }
+    }
+
+    /// Number of drives.
+    pub fn len(&self) -> usize {
+        self.drives.len()
+    }
+
+    /// True when the cluster is empty (never; constructor enforces ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.drives.is_empty()
+    }
+
+    /// Wall-clock seconds elapsed across all phases so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Aggregated traffic over all drives.
+    pub fn traffic(&self) -> TrafficStats {
+        let mut total = TrafficStats::default();
+        for d in &self.drives {
+            let t = d.traffic();
+            total.ssd_to_fpga += t.ssd_to_fpga;
+            total.fpga_to_host += t.fpga_to_host;
+            total.host_to_fpga += t.host_to_fpga;
+            total.staged_to_host += t.staged_to_host;
+        }
+        total
+    }
+
+    /// Total energy in joules over all drives.
+    pub fn energy_joules(&self) -> f64 {
+        self.drives.iter().map(|d| d.energy().total_joules()).sum()
+    }
+
+    /// Shards `records` as evenly as possible across the drives
+    /// (first shards get the remainder).
+    pub fn shard_counts(&self, records: u64) -> Vec<u64> {
+        let n = self.drives.len() as u64;
+        let base = records / n;
+        let rem = records % n;
+        (0..n).map(|i| base + u64::from(i < rem)).collect()
+    }
+
+    /// Phase: every drive scans its shard flash → FPGA in parallel.
+    /// Returns the phase's wall-clock seconds (slowest drive).
+    pub fn parallel_scan(&mut self, records: u64, record_bytes: u64) -> f64 {
+        let shards = self.shard_counts(records);
+        let t = self
+            .drives
+            .iter_mut()
+            .zip(&shards)
+            .map(|(d, &r)| d.read_records_to_fpga(r, record_bytes))
+            .fold(0.0f64, f64::max);
+        self.elapsed_s += t;
+        t
+    }
+
+    /// Phase: every drive runs the selection kernel on its shard
+    /// (the profile's `samples` is the *total*; each drive gets its
+    /// share). Returns wall-clock seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first drive's [`KernelError`] if the chunk does not fit.
+    pub fn parallel_select(&mut self, profile: &KernelProfile) -> Result<f64, KernelError> {
+        let shards = self.shard_counts(profile.samples);
+        let mut worst = 0.0f64;
+        for (d, &samples) in self.drives.iter_mut().zip(&shards) {
+            let local = KernelProfile { samples, ..*profile };
+            worst = worst.max(d.run_selection(&local)?);
+        }
+        self.elapsed_s += worst;
+        Ok(worst)
+    }
+
+    /// Phase: every drive ships its local picks to the host (GreeDi
+    /// round 1 → 2 hand-off), sharing the host link — transfer times add.
+    /// Returns the phase's seconds.
+    pub fn gather_selections(&mut self, records_per_drive: u64, record_bytes: u64) -> f64 {
+        let t: f64 = self
+            .drives
+            .iter_mut()
+            .map(|d| d.send_subset_to_host(records_per_drive, record_bytes))
+            .sum();
+        self.elapsed_s += t;
+        t
+    }
+
+    /// Phase: broadcast the quantized-weight feedback to every drive
+    /// (shared host link; times add). Returns the phase's seconds.
+    pub fn broadcast_feedback(&mut self, bytes: u64) -> f64 {
+        let t: f64 = self
+            .drives
+            .iter_mut()
+            .map(|d| d.receive_feedback(bytes))
+            .sum();
+        self.elapsed_s += t;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> KernelProfile {
+        KernelProfile {
+            samples: 100_000,
+            forward_macs_per_sample: 640,
+            proxy_dim: 10,
+            chunk: 457,
+            k_per_chunk: 128,
+        }
+    }
+
+    #[test]
+    fn shards_are_balanced() {
+        let c = SsdCluster::new(4, SmartSsdConfig::default());
+        assert_eq!(c.shard_counts(10), vec![3, 3, 2, 2]);
+        assert_eq!(c.shard_counts(8), vec![2, 2, 2, 2]);
+        let total: u64 = c.shard_counts(101).iter().sum();
+        assert_eq!(total, 101);
+    }
+
+    #[test]
+    fn scan_scales_near_linearly() {
+        let mut one = SsdCluster::new(1, SmartSsdConfig::default());
+        let mut four = SsdCluster::new(4, SmartSsdConfig::default());
+        let t1 = one.parallel_scan(100_000, 3000);
+        let t4 = four.parallel_scan(100_000, 3000);
+        let speedup = t1 / t4;
+        assert!(
+            (3.0..4.5).contains(&speedup),
+            "4-drive scan speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn select_scales_near_linearly() {
+        let mut one = SsdCluster::new(1, SmartSsdConfig::default());
+        let mut four = SsdCluster::new(4, SmartSsdConfig::default());
+        let t1 = one.parallel_select(&profile()).unwrap();
+        let t4 = four.parallel_select(&profile()).unwrap();
+        assert!(t1 / t4 > 3.0, "select speedup {}", t1 / t4);
+    }
+
+    #[test]
+    fn gather_and_feedback_share_the_link() {
+        let mut c = SsdCluster::new(3, SmartSsdConfig::default());
+        let tg = c.gather_selections(1000, 3000);
+        let tf = c.broadcast_feedback(100_000);
+        assert!(tg > 0.0 && tf > 0.0);
+        let t = c.traffic();
+        assert_eq!(t.fpga_to_host, 3 * 1000 * 3000);
+        assert_eq!(t.host_to_fpga, 3 * 100_000);
+        assert!((c.elapsed_secs() - (tg + tf)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_sums_over_drives() {
+        let mut c = SsdCluster::new(2, SmartSsdConfig::default());
+        c.parallel_scan(10_000, 3000);
+        assert!(c.energy_joules() > 0.0);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one drive")]
+    fn rejects_empty_cluster() {
+        let _ = SsdCluster::new(0, SmartSsdConfig::default());
+    }
+}

@@ -1,0 +1,339 @@
+//! The assembled SmartSSD device.
+//!
+//! [`SmartSsd`] wires the flash array, the P2P and host links, and the FPGA
+//! kernel model to a single simulated clock, and keeps the byte counters
+//! from which the paper's data-movement reductions (§4.4: 3.47× average)
+//! are computed.
+
+use crate::clock::SimClock;
+use crate::energy::EnergyMeter;
+use crate::fpga::{FpgaSpec, KernelError, KernelProfile};
+use crate::nand::{NandArray, NandConfig};
+use crate::pcie::LinkModel;
+use crate::trace::{Phase, Trace, TraceEvent};
+
+/// Power draw of the flash/controller complex while streaming (W).
+const SSD_ACTIVE_WATTS: f64 = 9.0;
+/// Power draw of the FPGA while the kernel runs (paper §2.2: ~7.5 W).
+const FPGA_ACTIVE_WATTS: f64 = 7.5;
+
+/// Device configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmartSsdConfig {
+    /// Flash geometry.
+    pub nand: NandConfig,
+    /// FPGA capabilities.
+    pub fpga: FpgaSpec,
+    /// SSD↔FPGA peer-to-peer link.
+    pub p2p: LinkModel,
+    /// FPGA↔host link.
+    pub host: LinkModel,
+    /// Conventional (no-P2P) storage→host path for baselines.
+    pub host_staged: LinkModel,
+}
+
+impl Default for SmartSsdConfig {
+    fn default() -> Self {
+        Self {
+            nand: NandConfig::default(),
+            fpga: FpgaSpec::default(),
+            p2p: LinkModel::p2p(),
+            host: LinkModel::fpga_host(),
+            host_staged: LinkModel::host_staged(),
+        }
+    }
+}
+
+/// Byte counters over every data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficStats {
+    /// Bytes moved SSD → FPGA over the P2P link.
+    pub ssd_to_fpga: u64,
+    /// Bytes moved FPGA → host (selected subsets).
+    pub fpga_to_host: u64,
+    /// Bytes moved host → FPGA (quantized-weight feedback).
+    pub host_to_fpga: u64,
+    /// Bytes moved storage → host over the conventional path (baselines).
+    pub staged_to_host: u64,
+}
+
+impl TrafficStats {
+    /// Bytes that crossed the drive-host interconnect (everything except
+    /// the on-board P2P traffic).
+    pub fn interconnect_bytes(&self) -> u64 {
+        self.fpga_to_host + self.host_to_fpga + self.staged_to_host
+    }
+
+    /// Total bytes moved anywhere.
+    pub fn total_bytes(&self) -> u64 {
+        self.ssd_to_fpga + self.interconnect_bytes()
+    }
+}
+
+/// The simulated drive.
+#[derive(Debug, Clone)]
+pub struct SmartSsd {
+    config: SmartSsdConfig,
+    clock: SimClock,
+    nand: NandArray,
+    traffic: TrafficStats,
+    energy: EnergyMeter,
+    trace: Trace,
+}
+
+impl SmartSsd {
+    /// Creates a device from a configuration.
+    pub fn new(config: SmartSsdConfig) -> Self {
+        Self {
+            config,
+            clock: SimClock::new(),
+            nand: NandArray::new(config.nand),
+            traffic: TrafficStats::default(),
+            energy: EnergyMeter::new(),
+            trace: Trace::new(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SmartSsdConfig {
+        &self.config
+    }
+
+    /// Simulated seconds elapsed since construction.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.clock.now_secs()
+    }
+
+    /// The traffic counters.
+    pub fn traffic(&self) -> TrafficStats {
+        self.traffic
+    }
+
+    /// The energy meter.
+    pub fn energy(&self) -> &EnergyMeter {
+        &self.energy
+    }
+
+    /// The phase-level event timeline.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn log(&mut self, phase: Phase, duration_s: f64, bytes: u64) {
+        self.trace.record(TraceEvent {
+            phase,
+            start_s: self.clock.now_secs(),
+            duration_s,
+            bytes,
+        });
+    }
+
+    /// Streams `records × record_bytes` from flash to the FPGA over the
+    /// P2P link (flash read and link transfer are pipelined: the phase
+    /// costs the slower of the two). Returns the phase's seconds.
+    pub fn read_records_to_fpga(&mut self, records: u64, record_bytes: u64) -> f64 {
+        let bytes = records * record_bytes;
+        let flash = self.nand.read(bytes);
+        let link = self.config.p2p.batch_time_s(records, record_bytes);
+        let t = flash.max(link);
+        self.traffic.ssd_to_fpga += bytes;
+        self.energy.record("ssd", SSD_ACTIVE_WATTS, t);
+        self.log(Phase::Scan, t, bytes);
+        self.clock.advance_secs(t);
+        t
+    }
+
+    /// Runs the selection kernel on the FPGA. Returns the phase's seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ChunkTooLarge`] when the profile's chunk does
+    /// not fit the FPGA's on-chip memory — the caller must re-partition
+    /// (paper §3.2.3).
+    pub fn run_selection(&mut self, profile: &KernelProfile) -> Result<f64, KernelError> {
+        let t = profile.execute_time_s(&self.config.fpga)?;
+        self.energy.record("fpga", FPGA_ACTIVE_WATTS, t);
+        self.log(Phase::Select, t, 0);
+        self.clock.advance_secs(t);
+        Ok(t)
+    }
+
+    /// Ships the selected subset to the host/GPU. Returns the phase's
+    /// seconds.
+    pub fn send_subset_to_host(&mut self, records: u64, record_bytes: u64) -> f64 {
+        let bytes = records * record_bytes;
+        let t = self.config.host.batch_time_s(records, record_bytes);
+        self.traffic.fpga_to_host += bytes;
+        self.energy.record("link", 2.0, t);
+        self.log(Phase::Ship, t, bytes);
+        self.clock.advance_secs(t);
+        t
+    }
+
+    /// Receives the quantized-weight feedback from the host (paper
+    /// §3.2.1). Returns the phase's seconds.
+    pub fn receive_feedback(&mut self, bytes: u64) -> f64 {
+        let t = self.config.host.transfer_time_s(bytes);
+        self.traffic.host_to_fpga += bytes;
+        self.energy.record("link", 2.0, t);
+        self.log(Phase::Feedback, t, bytes);
+        self.clock.advance_secs(t);
+        t
+    }
+
+    /// Installs a dataset onto the drive: the records stream in over the
+    /// host link and are programmed to flash (pipelined; the phase costs
+    /// the slower of the two). A one-time cost before training starts.
+    /// Returns the phase's seconds.
+    pub fn install_dataset(&mut self, records: u64, record_bytes: u64) -> f64 {
+        let bytes = records * record_bytes;
+        let link = self.config.host.batch_time_s(records, record_bytes);
+        let flash = self.nand.program(bytes);
+        let t = flash.max(link);
+        self.traffic.host_to_fpga += bytes;
+        self.energy.record("ssd", SSD_ACTIVE_WATTS, t);
+        self.log(Phase::Install, t, bytes);
+        self.clock.advance_secs(t);
+        t
+    }
+
+    /// Baseline path: reads records from flash and stages them through the
+    /// host at the conventional effective bandwidth (paper §4.4:
+    /// 1.4 GB/s). Returns the phase's seconds.
+    pub fn conventional_read_to_host(&mut self, records: u64, record_bytes: u64) -> f64 {
+        let bytes = records * record_bytes;
+        let flash = self.nand.read(bytes);
+        let link = self.config.host_staged.batch_time_s(records, record_bytes);
+        let t = flash.max(link);
+        self.traffic.staged_to_host += bytes;
+        self.energy.record("ssd", SSD_ACTIVE_WATTS, t);
+        self.log(Phase::StagedRead, t, bytes);
+        self.clock.advance_secs(t);
+        t
+    }
+}
+
+impl Default for SmartSsd {
+    fn default() -> Self {
+        Self::new(SmartSsdConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cifar_profile() -> KernelProfile {
+        KernelProfile {
+            samples: 50_000,
+            forward_macs_per_sample: 41_000_000,
+            proxy_dim: 10,
+            chunk: 457,
+            k_per_chunk: 128,
+        }
+    }
+
+    #[test]
+    fn clock_advances_through_phases() {
+        let mut dev = SmartSsd::default();
+        assert_eq!(dev.elapsed_secs(), 0.0);
+        let t1 = dev.read_records_to_fpga(1000, 3000);
+        let t2 = dev.run_selection(&cifar_profile()).unwrap();
+        let t3 = dev.send_subset_to_host(280, 3000);
+        let t4 = dev.receive_feedback(280_000);
+        let total = dev.elapsed_secs();
+        assert!((total - (t1 + t2 + t3 + t4)).abs() < 1e-9);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn traffic_counters_are_exact() {
+        let mut dev = SmartSsd::default();
+        dev.read_records_to_fpga(100, 1000);
+        dev.send_subset_to_host(30, 1000);
+        dev.receive_feedback(5000);
+        dev.conventional_read_to_host(10, 1000);
+        let t = dev.traffic();
+        assert_eq!(t.ssd_to_fpga, 100_000);
+        assert_eq!(t.fpga_to_host, 30_000);
+        assert_eq!(t.host_to_fpga, 5_000);
+        assert_eq!(t.staged_to_host, 10_000);
+        assert_eq!(t.interconnect_bytes(), 45_000);
+        assert_eq!(t.total_bytes(), 145_000);
+    }
+
+    #[test]
+    fn near_storage_selection_reduces_interconnect_traffic() {
+        // NeSSA path: full dataset stays on-board; only the subset crosses.
+        let records = 50_000u64;
+        let bytes = 3_000u64;
+        let subset = records * 28 / 100;
+        let mut nessa = SmartSsd::default();
+        nessa.read_records_to_fpga(records, bytes);
+        nessa.send_subset_to_host(subset, bytes);
+        // Baseline: the full dataset crosses to the host.
+        let mut base = SmartSsd::default();
+        base.conventional_read_to_host(records, bytes);
+        let reduction = base.traffic().interconnect_bytes() as f64
+            / nessa.traffic().interconnect_bytes() as f64;
+        assert!(
+            (3.0..4.0).contains(&reduction),
+            "interconnect reduction {reduction}"
+        );
+    }
+
+    #[test]
+    fn p2p_read_is_faster_than_staged() {
+        let mut a = SmartSsd::default();
+        let mut b = SmartSsd::default();
+        let tp = a.read_records_to_fpga(10_000, 126_000);
+        let th = b.conventional_read_to_host(10_000, 126_000);
+        assert!(th / tp > 1.5, "p2p {tp}s vs staged {th}s");
+    }
+
+    #[test]
+    fn oversized_kernel_is_rejected_and_costs_nothing() {
+        let mut dev = SmartSsd::default();
+        let bad = KernelProfile { chunk: 10_000, ..cifar_profile() };
+        assert!(dev.run_selection(&bad).is_err());
+        assert_eq!(dev.elapsed_secs(), 0.0);
+    }
+
+    #[test]
+    fn dataset_install_is_one_time_flash_bound_cost() {
+        let mut dev = SmartSsd::default();
+        let t_install = dev.install_dataset(50_000, 3_000);
+        // Installing is slower than scanning the same data back out
+        // (t_PROG ≫ t_R), but still a bounded one-time cost.
+        let t_scan = dev.read_records_to_fpga(50_000, 3_000);
+        assert!(t_install > t_scan, "install {t_install} !> scan {t_scan}");
+        assert!(t_install < 60.0, "install unreasonably slow: {t_install}");
+    }
+
+    #[test]
+    fn trace_records_every_phase() {
+        use crate::trace::Phase;
+        let mut dev = SmartSsd::default();
+        let t1 = dev.read_records_to_fpga(1000, 3000);
+        let t2 = dev.run_selection(&cifar_profile()).unwrap();
+        let t3 = dev.send_subset_to_host(280, 3000);
+        let t4 = dev.receive_feedback(280_000);
+        let trace = dev.trace();
+        assert_eq!(trace.len(), 4);
+        assert!((trace.total_for(Phase::Scan) - t1).abs() < 1e-12);
+        assert!((trace.total_for(Phase::Select) - t2).abs() < 1e-12);
+        assert!((trace.total_for(Phase::Ship) - t3).abs() < 1e-12);
+        assert!((trace.total_for(Phase::Feedback) - t4).abs() < 1e-12);
+        assert_eq!(trace.bytes_for(Phase::Scan), 3_000_000);
+        // Events tile the timeline: span equals the clock.
+        assert!((trace.span_s() - dev.elapsed_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_attributes_fpga_work() {
+        let mut dev = SmartSsd::default();
+        let t = dev.run_selection(&cifar_profile()).unwrap();
+        let j = dev.energy().joules_for("fpga");
+        assert!((j - 7.5 * t).abs() < 1e-9);
+    }
+}

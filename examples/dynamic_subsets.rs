@@ -1,0 +1,56 @@
+//! Watch NeSSA's adaptive machinery at work: subset biasing prunes the
+//! candidate pool as samples are learned, and dynamic sizing shrinks the
+//! subset when the loss plateaus.
+//!
+//! Run with `cargo run --release --example dynamic_subsets`.
+
+use nessa::core::{run_policy, NessaConfig, Policy};
+use nessa::data::SynthConfig;
+use nessa::nn::models::mlp;
+use nessa::tensor::rng::Rng64;
+
+fn main() {
+    let (train, test) = SynthConfig {
+        name: "adaptive-demo".into(),
+        train: 1200,
+        test: 400,
+        dim: 24,
+        classes: 6,
+        clusters_per_class: 20,
+        cluster_std: 0.8,
+        class_sep: 0.7,
+        mode_spread: 2.3,
+        hard_fraction: 0.2,
+        ..SynthConfig::default()
+    }
+    .generate();
+
+    let mut cfg = NessaConfig::new(0.4, 30).with_dynamic_sizing(true);
+    cfg.biasing_drop_every = 5; // prune aggressively for the demo
+    cfg.biasing_drop_fraction = 0.15;
+    cfg.sizing_threshold = 0.05;
+
+    let builder = |rng: &mut Rng64| mlp(&[24, 48, 6], rng);
+    let report = run_policy(&Policy::Nessa(cfg), &train, &test, 30, 32, 1, &builder);
+
+    println!("epoch  pool  subset  train-loss  test-acc");
+    for e in &report.epochs {
+        println!(
+            "{:>5} {:>5} {:>7} {:>11.4} {:>9.1}%",
+            e.epoch,
+            e.pool_size,
+            e.subset_size,
+            e.train_loss,
+            100.0 * e.test_acc
+        );
+    }
+    println!();
+    println!(
+        "pool shrank {} -> {}; subset {} -> {}; final accuracy {:.1}%",
+        report.epochs.first().unwrap().pool_size,
+        report.epochs.last().unwrap().pool_size,
+        report.epochs.first().unwrap().subset_size,
+        report.epochs.last().unwrap().subset_size,
+        100.0 * report.final_accuracy()
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: train a classifier on a CIFAR-10-like synthetic dataset
+//! with NeSSA's near-storage selection, and compare against full-data
+//! training.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use nessa::core::{run_policy, NessaConfig, Policy};
+use nessa::data::DatasetSpec;
+use nessa::nn::models::mlp;
+use nessa::tensor::rng::Rng64;
+
+fn main() {
+    // The catalog carries the paper's Table-1 metadata and a scaled
+    // synthetic stand-in for CPU training.
+    let spec = DatasetSpec::by_name("CIFAR-10").expect("catalog entry");
+    let (train, test) = spec.scaled_config(7).generate();
+    println!(
+        "dataset: {} stand-in — {} train / {} test samples, {} classes",
+        spec.name,
+        train.len(),
+        test.len(),
+        train.classes()
+    );
+
+    let epochs = 20;
+    let builder = |rng: &mut Rng64| mlp(&[train.dim(), 96, train.classes()], rng);
+
+    // Full-data training ("Goal" in the paper).
+    let goal = run_policy(&Policy::Goal, &train, &test, epochs, 32, 7, &builder);
+    println!("{goal}");
+
+    // NeSSA: 28 % subsets (the paper's Table-2 operating point), selected
+    // near-storage with quantized feedback, subset biasing and
+    // partitioning all enabled.
+    let cfg = NessaConfig::new(0.28, epochs);
+    let nessa = run_policy(&Policy::Nessa(cfg), &train, &test, epochs, 32, 7, &builder);
+    println!("{nessa}");
+
+    let t = nessa.traffic;
+    println!(
+        "interconnect traffic: {:.1} MB crossed to the host; {:.1} MB stayed on-board",
+        t.interconnect_bytes() as f64 / 1e6,
+        t.ssd_to_fpga as f64 / 1e6
+    );
+    println!(
+        "accuracy gap vs full data: {:.2} points (paper: 1.85)",
+        100.0 * (goal.best_accuracy() - nessa.best_accuracy())
+    );
+}

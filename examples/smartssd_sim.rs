@@ -1,0 +1,72 @@
+//! Drive the SmartSSD simulator directly: stream a dataset to the FPGA,
+//! run the selection kernel, ship a subset to the host, and inspect the
+//! timeline, traffic, energy, and FPGA resource report.
+//!
+//! Run with `cargo run --release --example smartssd_sim`.
+
+use nessa::data::{record, DatasetSpec};
+use nessa::smartssd::fpga::KernelProfile;
+use nessa::smartssd::resources::{KernelResourceConfig, ResourceReport};
+use nessa::smartssd::{LinkModel, SmartSsd, SmartSsdConfig};
+
+fn main() {
+    let spec = DatasetSpec::by_name("CIFAR-10").expect("catalog entry");
+    let (train, _) = spec.scaled_config(3).generate();
+    let encoded = record::encode_dataset(&train);
+    println!(
+        "{}: {} records, {} bytes/record on flash, {:.1} MB total",
+        train.name(),
+        train.len(),
+        record::record_len(train.dim(), train.bytes_per_sample()),
+        encoded.len() as f64 / 1e6
+    );
+
+    let mut dev = SmartSsd::new(SmartSsdConfig::default());
+    let read_s = dev.read_records_to_fpga(
+        spec.train_size as u64, // full-scale scan
+        spec.bytes_per_image as u64,
+    );
+    let profile = KernelProfile {
+        samples: spec.train_size as u64,
+        forward_macs_per_sample: 640,
+        proxy_dim: spec.classes,
+        chunk: 457,
+        k_per_chunk: 128,
+    };
+    let select_s = dev.run_selection(&profile).expect("chunk fits on-chip");
+    let subset = (spec.train_size as u64 * 28) / 100;
+    let ship_s = dev.send_subset_to_host(subset, spec.bytes_per_image as u64);
+    let feedback_s = dev.receive_feedback(270_000 / 4);
+
+    println!("simulated epoch timeline:");
+    println!("  flash -> FPGA scan : {read_s:>8.3} s");
+    println!("  selection kernel   : {select_s:>8.3} s");
+    println!("  subset -> host     : {ship_s:>8.3} s");
+    println!("  weight feedback    : {feedback_s:>8.3} s");
+    println!("  total              : {:>8.3} s", dev.elapsed_secs());
+
+    let t = dev.traffic();
+    println!(
+        "traffic: on-board {:.0} MB, interconnect {:.0} MB ({:.2}x reduction vs staging all)",
+        t.ssd_to_fpga as f64 / 1e6,
+        t.interconnect_bytes() as f64 / 1e6,
+        t.ssd_to_fpga as f64 / t.interconnect_bytes() as f64
+    );
+    println!("energy: {}", dev.energy());
+    println!();
+    println!("{}", dev.trace());
+
+    println!();
+    println!("P2P saturation (batch 128):");
+    let p2p = LinkModel::p2p();
+    for kb in [0.5f64, 3.0, 12.0, 126.0] {
+        println!(
+            "  {:>6.1} KB/record -> {:.2} GB/s",
+            kb,
+            p2p.effective_bytes_per_s(128, (kb * 1000.0) as u64) / 1e9
+        );
+    }
+
+    println!();
+    println!("{}", ResourceReport::for_kernel(&KernelResourceConfig::cifar10()));
+}

@@ -1,0 +1,53 @@
+//! # NeSSA — Near-Storage Data Selection for Accelerated ML Training
+//!
+//! A full-system Rust reproduction of *NeSSA* (Prakriya et al.,
+//! HotStorage '23): a SmartSSD+GPU training architecture that selects
+//! coresets of large datasets **inside the storage device**, so only the
+//! most informative samples ever cross the interconnect to the GPU.
+//!
+//! This facade crate re-exports the workspace's subsystems:
+//!
+//! * [`tensor`] — dense `f32` tensors, linear algebra, seeded RNG,
+//! * [`nn`] — the neural-network training engine and GPU cost models,
+//! * [`data`] — the Table-1 dataset catalog and synthetic generators,
+//! * [`select`] — facility-location (CRAIG), K-Centers, k-medoids, random,
+//! * [`quant`] — int8 quantization for the FPGA feedback loop,
+//! * [`smartssd`] — the discrete-event SmartSSD simulator,
+//! * [`core`] — the assembled NeSSA pipeline, baselines, and timing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nessa::core::{run_policy, NessaConfig, Policy};
+//! use nessa::data::SynthConfig;
+//! use nessa::nn::models::mlp;
+//! use nessa::tensor::rng::Rng64;
+//!
+//! // A small synthetic dataset (10 classes, CIFAR-like redundancy).
+//! let (train, test) = SynthConfig::default().generate();
+//!
+//! // Train on 30 % of the data selected near-storage each epoch.
+//! let policy = Policy::Nessa(NessaConfig::new(0.3, 5));
+//! let report = run_policy(
+//!     &policy, &train, &test, 5, 64, 42,
+//!     &|rng: &mut Rng64| mlp(&[32, 64, 10], rng),
+//! );
+//! println!("{report}");
+//! assert_eq!(report.epochs.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nessa_core as core;
+pub use nessa_data as data;
+pub use nessa_nn as nn;
+pub use nessa_quant as quant;
+pub use nessa_select as select;
+pub use nessa_smartssd as smartssd;
+pub use nessa_tensor as tensor;
+
+// The types most users touch first, re-exported at the crate root.
+pub use nessa_core::{run_policy, NessaConfig, NessaPipeline, Policy, RunReport};
+pub use nessa_data::{Dataset, DatasetSpec, SynthConfig};
+pub use nessa_smartssd::{SmartSsd, SmartSsdConfig};

@@ -1,0 +1,93 @@
+//! Integration tests across the storage stack: the on-flash record format,
+//! the device byte accounting, and the FPGA capacity constraint driving
+//! NeSSA's partitioning.
+
+use nessa::data::{record, DatasetSpec, SynthConfig};
+use nessa::smartssd::fpga::{FpgaSpec, KernelProfile};
+use nessa::smartssd::{SmartSsd, SmartSsdConfig};
+
+#[test]
+fn encoded_dataset_matches_device_accounting() {
+    let (train, _) = SynthConfig {
+        train: 100,
+        test: 10,
+        dim: 16,
+        classes: 5,
+        bytes_per_sample: 2048,
+        ..SynthConfig::default()
+    }
+    .generate();
+    let encoded = record::encode_dataset(&train);
+    let rec_len = record::record_len(train.dim(), train.bytes_per_sample()) as u64;
+    // Stream exactly the encoded records through the device.
+    let mut dev = SmartSsd::new(SmartSsdConfig::default());
+    dev.read_records_to_fpga(train.len() as u64, rec_len);
+    assert_eq!(
+        dev.traffic().ssd_to_fpga + record::HEADER_LEN as u64,
+        encoded.len() as u64,
+        "device byte accounting must match the serialized footprint"
+    );
+    // And the stream decodes back to the identical dataset.
+    let back = record::decode_dataset("roundtrip", &encoded).unwrap();
+    assert_eq!(back.features().as_slice(), train.features().as_slice());
+    assert_eq!(back.labels(), train.labels());
+}
+
+#[test]
+fn every_table1_dataset_fits_after_partitioning() {
+    // §3.2.3's premise: whole classes do NOT fit the FPGA's on-chip
+    // memory at full scale, but mini-batch-sized chunks do.
+    let spec = FpgaSpec::default();
+    for ds in DatasetSpec::table1() {
+        let per_class = ds.train_size / ds.classes;
+        let whole_class = KernelProfile {
+            samples: ds.train_size as u64,
+            forward_macs_per_sample: 640,
+            proxy_dim: ds.classes,
+            chunk: per_class,
+            k_per_chunk: 128,
+        };
+        let chunked = KernelProfile {
+            chunk: 457,
+            ..whole_class
+        };
+        assert!(
+            chunked.check_fit(&spec).is_ok(),
+            "{}: paper-sized chunk must fit",
+            ds.name
+        );
+        if per_class > KernelProfile::max_chunk_for(&spec, ds.classes) {
+            assert!(
+                whole_class.check_fit(&spec).is_err(),
+                "{}: whole class should overflow on-chip memory",
+                ds.name
+            );
+        }
+    }
+}
+
+#[test]
+fn max_chunk_shrinks_with_proxy_dim() {
+    let spec = FpgaSpec::default();
+    let c10 = KernelProfile::max_chunk_for(&spec, 10);
+    let c200 = KernelProfile::max_chunk_for(&spec, 200);
+    assert!(c200 <= c10, "{c200} > {c10}");
+}
+
+#[test]
+fn corrupted_streams_are_rejected_not_misread() {
+    let (train, _) = SynthConfig {
+        train: 20,
+        test: 5,
+        dim: 4,
+        classes: 2,
+        bytes_per_sample: 64,
+        ..SynthConfig::default()
+    }
+    .generate();
+    let mut bytes = record::encode_dataset(&train).to_vec();
+    // Flip the record count upward: decode must fail, not over-read.
+    let count_off = record::HEADER_LEN - 4;
+    bytes[count_off] = 0xFF;
+    assert!(record::decode_dataset("bad", &bytes).is_err());
+}
