@@ -38,9 +38,7 @@ fn bench_policies(c: &mut Criterion) {
         })
     });
     group.bench_function("full_data", |b| {
-        b.iter(|| {
-            black_box(run_policy(&Policy::Goal, &train, &test, 3, 32, 0, &builder))
-        })
+        b.iter(|| black_box(run_policy(&Policy::Goal, &train, &test, 3, 32, 0, &builder)))
     });
     group.finish();
 }

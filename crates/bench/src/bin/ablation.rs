@@ -8,13 +8,13 @@
 //!
 //! Regenerate with `cargo run --release -p nessa-bench --bin ablation`.
 
-use nessa_bench::{run_scaled, rule, scaled_dataset, BATCH, EPOCHS, SEED};
+use nessa_bench::{rule, run_scaled, scaled_dataset, BATCH, EPOCHS, SEED};
 use nessa_core::{NessaConfig, Policy};
 use nessa_data::DatasetSpec;
-use nessa_select::craig::{select_per_class, CraigOptions};
-use nessa_select::facility::{GreedyVariant, SimilarityMatrix};
 use nessa_nn::models::mlp;
 use nessa_quant::schemes::{relative_error, Granularity, Scheme, SchemeQuantized};
+use nessa_select::craig::{select_per_class, CraigOptions};
+use nessa_select::facility::{GreedyVariant, SimilarityMatrix};
 use nessa_select::kmedoids;
 use nessa_tensor::rng::Rng64;
 
@@ -23,7 +23,10 @@ fn main() {
     let (train, test) = scaled_dataset(&spec, SEED);
     let fraction = 0.3f32;
 
-    println!("Ablation 1: greedy variant (NeSSA at {:.0} %)", 100.0 * fraction);
+    println!(
+        "Ablation 1: greedy variant (NeSSA at {:.0} %)",
+        100.0 * fraction
+    );
     rule(60);
     for (name, variant) in [
         ("naive", GreedyVariant::Naive),
@@ -48,11 +51,16 @@ fn main() {
             variant: GreedyVariant::Lazy,
             partition_chunk: (chunk != usize::MAX).then_some(chunk),
             threads: 1,
+            metrics: None,
         };
         let sel = select_per_class(&feats, &labels, 1, fraction, &opts, &mut rng);
         let cost = kmedoids::cost(&feats, &sel.indices);
         let obj = sim.objective(&sel.indices);
-        let label = if chunk == usize::MAX { "whole-class".into() } else { format!("chunk {chunk}") };
+        let label = if chunk == usize::MAX {
+            "whole-class".into()
+        } else {
+            format!("chunk {chunk}")
+        };
         println!(
             "  {:<12} |S|={:<4} facility objective {:>12.1}  k-medoid cost {:>10.1}",
             label,
@@ -78,10 +86,28 @@ fn main() {
     let mut net = mlp(&[train.dim(), 96, train.classes()], &mut model_rng);
     let weights = net.export_weights();
     for (name, scheme) in [
-        ("int4/tensor", Scheme { bits: 4, granularity: Granularity::PerTensor }),
+        (
+            "int4/tensor",
+            Scheme {
+                bits: 4,
+                granularity: Granularity::PerTensor,
+            },
+        ),
         ("int8/tensor", Scheme::int8()),
-        ("int8/row", Scheme { bits: 8, granularity: Granularity::PerRow }),
-        ("int16/tensor", Scheme { bits: 16, granularity: Granularity::PerTensor }),
+        (
+            "int8/row",
+            Scheme {
+                bits: 8,
+                granularity: Granularity::PerRow,
+            },
+        ),
+        (
+            "int16/tensor",
+            Scheme {
+                bits: 16,
+                granularity: Granularity::PerTensor,
+            },
+        ),
     ] {
         let mut err_sum = 0.0f32;
         let mut bytes = 0usize;
@@ -133,13 +159,7 @@ fn main() {
     println!("Ablation 4: informed selection vs stratified random, by budget");
     rule(60);
     for fraction in [0.05f32, 0.10, 0.30] {
-        let random = run_scaled(
-            &Policy::Random { fraction },
-            &train,
-            &test,
-            EPOCHS,
-            SEED,
-        );
+        let random = run_scaled(&Policy::Random { fraction }, &train, &test, EPOCHS, SEED);
         let nessa = run_scaled(
             &Policy::Nessa(NessaConfig::new(fraction, EPOCHS)),
             &train,

@@ -9,7 +9,10 @@ use nessa_nn::zoo::imagenet_models;
 
 fn main() {
     let device = DeviceSpec::a100();
-    println!("Figure 1: per-epoch ImageNet-1k training time ({})", device.name);
+    println!(
+        "Figure 1: per-epoch ImageNet-1k training time ({})",
+        device.name
+    );
     rule(66);
     println!(
         "{:<18} {:>6} {:>12} {:>12} {:>12}",

@@ -2,17 +2,46 @@
 //! and a model trained on the full dataset (CIFAR-10, ResNet-20, V100).
 //!
 //! Regenerate with `cargo run --release -p nessa-bench --bin fig4`.
+//! Pass `--json` to emit one JSON object per policy row instead of the
+//! human-readable table.
 
 use nessa_bench::rule;
 use nessa_core::timing::{craig_cpu_epoch, goal_epoch, kcenters_cpu_epoch, nessa_epoch, Workload};
 use nessa_data::DatasetSpec;
 use nessa_nn::cost::DeviceSpec;
+use nessa_telemetry::json::JsonObject;
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let spec = DatasetSpec::by_name("CIFAR-10").expect("catalog entry");
     let fraction = spec.paper.expect("table 2 row").subset_pct as f64 / 100.0;
     let w = Workload::from_spec(&spec);
     let gpu = DeviceSpec::v100();
+    let rows = [
+        ("NeSSA", nessa_epoch(&w, &gpu, fraction)),
+        ("CRAIG", craig_cpu_epoch(&w, &gpu, fraction)),
+        ("K-Centers", kcenters_cpu_epoch(&w, &gpu, fraction)),
+        ("Full data", goal_epoch(&w, &gpu)),
+    ];
+    if json {
+        let nessa = rows[0].1.total_s();
+        for (name, t) in &rows {
+            println!(
+                "{}",
+                JsonObject::new()
+                    .str_field("policy", name)
+                    .str_field("dataset", spec.name)
+                    .f64_field("subset_fraction", fraction)
+                    .f64_field("data_move_s", t.data_move_s)
+                    .f64_field("select_s", t.select_s)
+                    .f64_field("train_s", t.train_s)
+                    .f64_field("total_s", t.total_s())
+                    .f64_field("speedup_vs_nessa", t.total_s() / nessa)
+                    .finish()
+            );
+        }
+        return;
+    }
     println!(
         "Figure 4: per-epoch training time, {} / {} / {} (subset {:.0} %)",
         spec.name,
@@ -26,12 +55,6 @@ fn main() {
         "Policy", "Data-mv (s)", "Select (s)", "Train (s)", "Total (s)"
     );
     rule(66);
-    let rows = [
-        ("NeSSA", nessa_epoch(&w, &gpu, fraction)),
-        ("CRAIG", craig_cpu_epoch(&w, &gpu, fraction)),
-        ("K-Centers", kcenters_cpu_epoch(&w, &gpu, fraction)),
-        ("Full data", goal_epoch(&w, &gpu)),
-    ];
     for (name, t) in &rows {
         println!(
             "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",

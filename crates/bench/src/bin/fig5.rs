@@ -7,7 +7,7 @@
 //!
 //! Regenerate with `cargo run --release -p nessa-bench --bin fig5`.
 
-use nessa_bench::{run_scaled, rule, scaled_dataset, EPOCHS, SEED};
+use nessa_bench::{rule, run_scaled, scaled_dataset, EPOCHS, SEED};
 use nessa_core::{NessaConfig, Policy, RunReport};
 use nessa_data::DatasetSpec;
 
@@ -33,8 +33,16 @@ fn main() {
         let cfg = NessaConfig::new(paper.subset_pct / 100.0, EPOCHS);
         let nessa = run_scaled(&Policy::Nessa(cfg), &train, &test, EPOCHS, SEED);
         println!("{}:", spec.name);
-        println!("  full  : {}  {}", nessa_bench::sparkline(&goal.accuracy_curve()), series(&goal));
-        println!("  nessa : {}  {}", nessa_bench::sparkline(&nessa.accuracy_curve()), series(&nessa));
+        println!(
+            "  full  : {}  {}",
+            nessa_bench::sparkline(&goal.accuracy_curve()),
+            series(&goal)
+        );
+        println!(
+            "  nessa : {}  {}",
+            nessa_bench::sparkline(&nessa.accuracy_curve()),
+            series(&nessa)
+        );
         let g_early = goal.epochs[early].test_acc / goal.best_accuracy().max(1e-6);
         let n_early = nessa.epochs[early].test_acc / nessa.best_accuracy().max(1e-6);
         println!(

@@ -15,7 +15,10 @@ fn main() {
     let batch = 128u64;
     println!("Figure 6: FPGA <-> on-board SSD transfer throughput (batch {batch})");
     rule(56);
-    println!("{:<16} {:>10} {:>14} {:>12}", "Dataset", "KB/image", "Batch (KB)", "GB/s");
+    println!(
+        "{:<16} {:>10} {:>14} {:>12}",
+        "Dataset", "KB/image", "Batch (KB)", "GB/s"
+    );
     rule(56);
     let mut specs = vec![DatasetSpec::mnist()];
     specs.extend(DatasetSpec::table1());

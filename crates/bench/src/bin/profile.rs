@@ -1,0 +1,109 @@
+//! Run profiler: executes a short NeSSA training run with telemetry
+//! enabled, prints the span timeline, and (in JSONL mode) cross-checks
+//! the emitted artifact against the run report.
+//!
+//! The sink is picked by `NESSA_TELEMETRY`
+//! (`memory|timeline|jsonl|jsonl:<path>`); unset defaults to `jsonl` so
+//! the binary always produces an artifact. Run with
+//! `NESSA_TELEMETRY=jsonl cargo run --release -p nessa-bench --bin profile`.
+
+use nessa_bench::{model_builder, rule, BATCH, SEED};
+use nessa_core::{NessaConfig, NessaPipeline, RunReport};
+use nessa_data::SynthConfig;
+use nessa_telemetry::{extract_num_field, extract_str_field, TelemetryMode, TelemetrySettings};
+use nessa_tensor::rng::Rng64;
+use std::fs;
+
+/// Epoch phases the pipeline emits one span for per (selection) epoch.
+const PHASES: [&str; 5] = ["scan", "select", "ship", "train", "feedback"];
+
+const EPOCHS: usize = 6;
+
+fn main() {
+    let mut settings = TelemetrySettings::from_env();
+    if settings.mode == TelemetryMode::Off {
+        settings = TelemetrySettings::jsonl("nessa-profile.jsonl");
+    }
+    let synth = SynthConfig {
+        train: 600,
+        test: 200,
+        dim: 16,
+        classes: 4,
+        cluster_std: 0.7,
+        class_sep: 3.0,
+        ..SynthConfig::default()
+    };
+    let (train, test) = synth.generate();
+    let cfg = NessaConfig::new(0.3, EPOCHS)
+        .with_batch_size(BATCH)
+        .with_seed(SEED)
+        .with_telemetry(settings);
+    let builder = model_builder(train.dim(), train.classes());
+    let mut rng = Rng64::new(SEED);
+    let target = builder(&mut rng);
+    let selector = builder(&mut rng);
+    let mut pipeline = NessaPipeline::new(cfg, target, selector, train, test);
+    let report = pipeline.run();
+
+    println!("profile run: {report}");
+    rule(72);
+    print!("{}", pipeline.telemetry().render_timeline());
+    rule(72);
+
+    match pipeline.telemetry().jsonl_path() {
+        Some(path) => {
+            let path = path.to_path_buf();
+            let text = fs::read_to_string(&path).expect("telemetry artifact readable");
+            verify_artifact(&text, &report);
+            println!(
+                "JSONL artifact: {} ({} lines, spans consistent with the run report)",
+                path.display(),
+                text.lines().count()
+            );
+        }
+        None => println!("(no JSONL artifact in this mode; set NESSA_TELEMETRY=jsonl)"),
+    }
+}
+
+/// Checks that every line is a braced object, every epoch has one span
+/// per phase, and per-epoch simulated-second span totals agree with the
+/// run report within 1e-9.
+fn verify_artifact(text: &str, report: &RunReport) {
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "malformed JSONL line: {line}"
+        );
+    }
+    let span_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| extract_str_field(l, "type").as_deref() == Some("span"))
+        .collect();
+    for epoch in &report.epochs {
+        let mut sim_total = 0.0;
+        for phase in PHASES {
+            let phase_spans: Vec<&&str> = span_lines
+                .iter()
+                .filter(|l| {
+                    extract_str_field(l, "name").as_deref() == Some(phase)
+                        && extract_num_field(l, "epoch") == Some(epoch.epoch as f64)
+                })
+                .collect();
+            assert_eq!(
+                phase_spans.len(),
+                1,
+                "epoch {}: expected exactly one {phase} span, got {}",
+                epoch.epoch,
+                phase_spans.len()
+            );
+            sim_total += extract_num_field(phase_spans[0], "sim_s")
+                .unwrap_or_else(|| panic!("{phase} span missing sim_s"));
+        }
+        let expected = epoch.total_secs();
+        assert!(
+            (sim_total - expected).abs() < 1e-9,
+            "epoch {}: span sim total {sim_total} != report {expected}",
+            epoch.epoch
+        );
+    }
+}

@@ -34,11 +34,8 @@ fn main() {
     for drives in [1usize, 2, 4, 8] {
         let mut cluster = SsdCluster::new(drives, SmartSsdConfig::default());
         let scan = cluster.parallel_scan(w.samples, w.bytes_per_sample);
-        let chunk = KernelProfile::max_chunk_for(
-            &SmartSsdConfig::default().fpga,
-            w.classes,
-        )
-        .min(457);
+        let chunk =
+            KernelProfile::max_chunk_for(&SmartSsdConfig::default().fpga, w.classes).min(457);
         let profile = KernelProfile {
             samples: w.samples,
             forward_macs_per_sample: (w.feature_dim * w.classes) as u64,

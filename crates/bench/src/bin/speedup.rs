@@ -52,7 +52,11 @@ fn main() {
     let n = specs.len() as f64;
     println!(
         "{:<14} {:>8} {:>11.2}x {:>11.2}x {:>11.2}x",
-        "Average", "", s_full / n, s_craig / n, s_kc / n
+        "Average",
+        "",
+        s_full / n,
+        s_craig / n,
+        s_kc / n
     );
     println!("Paper averages: 5.37x vs full, 4.3x vs CRAIG, 8.1x vs K-Centers.");
 }

@@ -2,21 +2,33 @@
 //! all six datasets (scaled synthetic stand-ins; see DESIGN.md §2).
 //!
 //! Regenerate with `cargo run --release -p nessa-bench --bin table2`.
+//! Pass `--json` to emit one JSON object per dataset row instead of the
+//! human-readable table.
 
-use nessa_bench::{run_scaled, rule, scaled_dataset, EPOCHS, SEED};
+use nessa_bench::{rule, run_scaled, scaled_dataset, EPOCHS, SEED};
 use nessa_core::{NessaConfig, Policy};
 use nessa_data::DatasetSpec;
+use nessa_telemetry::json::JsonObject;
 
 fn main() {
-    println!(
-        "Table 2: NeSSA vs full-data training ({EPOCHS} epochs, scaled datasets)"
-    );
-    rule(86);
-    println!(
-        "{:<14} {:>5} {:>6} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8}",
-        "Dataset", "Cls", "Train", "Full(p)", "NeSSA(p)", "Sub%(p)", "Full(m)", "NeSSA(m)", "Sub%(m)"
-    );
-    rule(86);
+    let json = std::env::args().any(|a| a == "--json");
+    if !json {
+        println!("Table 2: NeSSA vs full-data training ({EPOCHS} epochs, scaled datasets)");
+        rule(86);
+        println!(
+            "{:<14} {:>5} {:>6} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8}",
+            "Dataset",
+            "Cls",
+            "Train",
+            "Full(p)",
+            "NeSSA(p)",
+            "Sub%(p)",
+            "Full(m)",
+            "NeSSA(m)",
+            "Sub%(m)"
+        );
+        rule(86);
+    }
     for spec in DatasetSpec::table1() {
         let paper = spec.paper.expect("table 2 row");
         let (train, test) = scaled_dataset(&spec, SEED);
@@ -28,19 +40,38 @@ fn main() {
         cfg.dynamic_sizing = true;
         cfg.sizing_min_fraction = 0.9 * paper.subset_pct / 100.0;
         let nessa = run_scaled(&Policy::Nessa(cfg), &train, &test, EPOCHS, SEED);
-        println!(
-            "{:<14} {:>5} {:>6} | {:>9.2} {:>9.2} {:>8.0} | {:>9.2} {:>9.2} {:>8.1}",
-            spec.name,
-            spec.classes,
-            train.len(),
-            paper.all_data_acc,
-            paper.nessa_acc,
-            paper.subset_pct,
-            100.0 * goal.best_accuracy(),
-            100.0 * nessa.best_accuracy(),
-            nessa.mean_subset_pct(),
-        );
+        if json {
+            println!(
+                "{}",
+                JsonObject::new()
+                    .str_field("dataset", spec.name)
+                    .u64_field("classes", spec.classes as u64)
+                    .u64_field("train_size", train.len() as u64)
+                    .f64_field("paper_full_acc", paper.all_data_acc as f64)
+                    .f64_field("paper_nessa_acc", paper.nessa_acc as f64)
+                    .f64_field("paper_subset_pct", paper.subset_pct as f64)
+                    .f64_field("full_acc", 100.0 * goal.best_accuracy() as f64)
+                    .f64_field("nessa_acc", 100.0 * nessa.best_accuracy() as f64)
+                    .f64_field("subset_pct", nessa.mean_subset_pct() as f64)
+                    .finish()
+            );
+        } else {
+            println!(
+                "{:<14} {:>5} {:>6} | {:>9.2} {:>9.2} {:>8.0} | {:>9.2} {:>9.2} {:>8.1}",
+                spec.name,
+                spec.classes,
+                train.len(),
+                paper.all_data_acc,
+                paper.nessa_acc,
+                paper.subset_pct,
+                100.0 * goal.best_accuracy(),
+                100.0 * nessa.best_accuracy(),
+                nessa.mean_subset_pct(),
+            );
+        }
     }
-    rule(86);
-    println!("(p) = paper, (m) = measured on the scaled stand-in.");
+    if !json {
+        rule(86);
+        println!("(p) = paper, (m) = measured on the scaled stand-in.");
+    }
 }

@@ -6,7 +6,7 @@
 //!
 //! Regenerate with `cargo run --release -p nessa-bench --bin table3`.
 
-use nessa_bench::{run_scaled, rule, scaled_dataset, EPOCHS, SEED};
+use nessa_bench::{rule, run_scaled, scaled_dataset, EPOCHS, SEED};
 use nessa_core::{NessaConfig, Policy};
 use nessa_data::DatasetSpec;
 

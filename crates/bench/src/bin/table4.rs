@@ -14,8 +14,6 @@ fn main() {
     rule(34);
     let (lut, ff, bram, dsp) = report.utilization_pct();
     println!("Paper:      LUT 67.53  FF 23.14  BRAM 50.30  DSP 42.67");
-    println!(
-        "Measured:   LUT {lut:>5.2}  FF {ff:>5.2}  BRAM {bram:>5.2}  DSP {dsp:>5.2}"
-    );
+    println!("Measured:   LUT {lut:>5.2}  FF {ff:>5.2}  BRAM {bram:>5.2}  DSP {dsp:>5.2}");
     assert!(report.fits(), "kernel must fit the KU15P");
 }

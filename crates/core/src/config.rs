@@ -1,6 +1,7 @@
 //! Pipeline configuration.
 
 use nessa_select::facility::GreedyVariant;
+use nessa_telemetry::TelemetrySettings;
 
 /// Configuration of a NeSSA training run.
 ///
@@ -67,6 +68,10 @@ pub struct NessaConfig {
     pub threads: usize,
     /// Master seed.
     pub seed: u64,
+    /// Telemetry collection for the run (spans, metrics, sinks). Defaults
+    /// to off; see [`TelemetrySettings::from_env`] for the
+    /// `NESSA_TELEMETRY` environment control.
+    pub telemetry: TelemetrySettings,
 }
 
 impl NessaConfig {
@@ -98,6 +103,7 @@ impl NessaConfig {
             greedy: GreedyVariant::Lazy,
             threads: 1,
             seed: 42,
+            telemetry: TelemetrySettings::off(),
         }
     }
 
@@ -151,6 +157,12 @@ impl NessaConfig {
     /// Sets the per-class selection thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the telemetry configuration for the run.
+    pub fn with_telemetry(mut self, telemetry: TelemetrySettings) -> Self {
+        self.telemetry = telemetry;
         self
     }
 

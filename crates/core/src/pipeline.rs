@@ -5,15 +5,16 @@ use crate::config::NessaConfig;
 use crate::proxy::gradient_proxies;
 use crate::report::{EpochRecord, RunReport};
 use crate::sizing::SubsetSizer;
-use crate::trainer::{evaluate, train_epoch};
+use crate::trainer::{evaluate, train_epoch_metered, TrainMetrics};
 use nessa_data::Dataset;
 use nessa_nn::models::Network;
 use nessa_nn::optim::{MultiStepLr, Sgd, SgdConfig};
 use nessa_quant::QuantizedModel;
 use nessa_select::craig::{select_per_class_factored, CraigOptions};
-use nessa_select::Selection;
+use nessa_select::{SelectMetrics, Selection};
 use nessa_smartssd::fpga::KernelProfile;
 use nessa_smartssd::{SmartSsd, SmartSsdConfig};
+use nessa_telemetry::{DeviceEvent, Telemetry};
 use nessa_tensor::rng::Rng64;
 
 /// The assembled SmartSSD+GPU training loop.
@@ -37,6 +38,7 @@ pub struct NessaPipeline {
     train: Dataset,
     test: Dataset,
     device: SmartSsd,
+    telemetry: Telemetry,
 }
 
 impl NessaPipeline {
@@ -67,9 +69,13 @@ impl NessaPipeline {
             .iter()
             .map(|w| w.shape().dims().to_vec())
             .collect();
-        assert_eq!(t_shapes, s_shapes, "target and selector must share structure");
+        assert_eq!(
+            t_shapes, s_shapes,
+            "target and selector must share structure"
+        );
         assert_eq!(train.dim(), test.dim(), "train/test feature dims differ");
         assert_eq!(train.classes(), test.classes(), "train/test classes differ");
+        let telemetry = Telemetry::new(&config.telemetry);
         Self {
             config,
             target,
@@ -77,6 +83,7 @@ impl NessaPipeline {
             train,
             test,
             device: SmartSsd::new(SmartSsdConfig::default()),
+            telemetry,
         }
     }
 
@@ -109,9 +116,12 @@ impl NessaPipeline {
             train_size: n,
             ..RunReport::default()
         };
+        let select_metrics = SelectMetrics::from_telemetry(&self.telemetry);
+        let train_metrics = TrainMetrics::from_telemetry(&self.telemetry);
         let mut fraction = cfg.subset_fraction;
         for epoch in 0..cfg.epochs {
             let lr = schedule.lr_at(epoch);
+            let mut epoch_span = self.telemetry.span("epoch").with_attr("epoch", epoch);
             let mut select_secs = 0.0;
             let mut io_secs = 0.0;
             if epoch % cfg.select_every == 0 || selection.is_empty() {
@@ -121,22 +131,37 @@ impl NessaPipeline {
                     (0..n).collect()
                 };
                 // (1) Stream the candidate pool from flash to the FPGA.
-                io_secs += self
-                    .device
-                    .read_records_to_fpga(pool.len() as u64, self.train.bytes_per_sample() as u64);
+                {
+                    let mut scan = self
+                        .telemetry
+                        .span("scan")
+                        .with_attr("epoch", epoch)
+                        .with_attr("records", pool.len());
+                    let secs = self.device.read_records_to_fpga(
+                        pool.len() as u64,
+                        self.train.bytes_per_sample() as u64,
+                    );
+                    scan.add_sim_secs(secs);
+                    io_secs += secs;
+                }
                 // (2) Quantized forward pass → last-layer gradient proxies
                 // (outer-product space, compared via the factored distance
                 // so nothing of size classes × features is materialized).
+                let mut select_span = self
+                    .telemetry
+                    .span("select")
+                    .with_attr("epoch", epoch)
+                    .with_attr("pool", pool.len());
                 let proxies =
                     gradient_proxies(&mut self.selector, &self.train, &pool, cfg.batch_size);
                 let feature_dim = proxies.features.dim(1);
-                let pool_labels: Vec<usize> =
-                    pool.iter().map(|&i| self.train.label(i)).collect();
+                let pool_labels: Vec<usize> = pool.iter().map(|&i| self.train.label(i)).collect();
                 let chunk = cfg.partitioning.then(|| cfg.partition_chunk(fraction));
                 let opts = CraigOptions {
                     variant: cfg.greedy,
                     partition_chunk: chunk,
                     threads: cfg.threads,
+                    metrics: Some(select_metrics.clone()),
                 };
                 let mut local = select_per_class_factored(
                     &proxies.residuals,
@@ -175,31 +200,56 @@ impl NessaPipeline {
                     }),
                     k_per_chunk: cfg.batch_size,
                 };
-                select_secs += self
+                let kernel_secs = self
                     .device
                     .run_selection(&profile)
                     .expect("selection chunk exceeds FPGA on-chip memory; enable partitioning");
+                select_span.add_sim_secs(kernel_secs);
+                select_span.set_attr("subset", selection.len());
+                select_span.finish();
+                select_secs += kernel_secs;
                 // (3) Ship the subset to the GPU.
-                io_secs += self.device.send_subset_to_host(
-                    selection.len() as u64,
-                    self.train.bytes_per_sample() as u64,
-                );
+                {
+                    let mut ship = self
+                        .telemetry
+                        .span("ship")
+                        .with_attr("epoch", epoch)
+                        .with_attr("records", selection.len());
+                    let secs = self.device.send_subset_to_host(
+                        selection.len() as u64,
+                        self.train.bytes_per_sample() as u64,
+                    );
+                    ship.add_sim_secs(secs);
+                    io_secs += secs;
+                }
             }
             // (4) Train the target model on the subset.
-            let outcome = train_epoch(
-                &mut self.target,
-                &mut opt,
-                &self.train,
-                &selection.indices,
-                &selection.weights,
-                cfg.batch_size,
-                lr,
-                &mut rng,
-            );
+            let outcome = {
+                let _train_span = self
+                    .telemetry
+                    .span("train")
+                    .with_attr("epoch", epoch)
+                    .with_attr("subset", selection.len());
+                train_epoch_metered(
+                    &mut self.target,
+                    &mut opt,
+                    &self.train,
+                    &selection.indices,
+                    &selection.weights,
+                    cfg.batch_size,
+                    lr,
+                    &mut rng,
+                    Some(&train_metrics),
+                )
+            };
             // Feedback: quantize weights, send to FPGA, refresh selector.
             if cfg.feedback {
+                let mut feedback = self.telemetry.span("feedback").with_attr("epoch", epoch);
                 let snap = QuantizedModel::from_network(&mut self.target);
-                io_secs += self.device.receive_feedback(snap.payload_bytes() as u64);
+                feedback.set_attr("bytes", snap.payload_bytes());
+                let secs = self.device.receive_feedback(snap.payload_bytes() as u64);
+                feedback.add_sim_secs(secs);
+                io_secs += secs;
                 snap.apply_to(&mut self.selector);
             }
             // Subset biasing: record subset losses; prune on schedule.
@@ -212,6 +262,10 @@ impl NessaPipeline {
                 fraction = sizer.observe(outcome.mean_loss);
             }
             let test_acc = evaluate(&mut self.target, &self.test, cfg.batch_size);
+            epoch_span.add_sim_secs(select_secs + io_secs);
+            epoch_span.set_attr("train_loss", outcome.mean_loss);
+            epoch_span.set_attr("test_acc", test_acc);
+            epoch_span.finish();
             report.epochs.push(EpochRecord {
                 epoch,
                 lr,
@@ -229,6 +283,35 @@ impl NessaPipeline {
         }
         report.traffic = self.device.traffic();
         report.device_energy_j = self.device.energy().total_joules();
+        // Bridge the device's phase trace and roll-up counters into the
+        // unified stream, then flush the sinks for this run.
+        if self.telemetry.is_enabled() {
+            for ev in self.device.trace().events() {
+                self.telemetry.record_device_event(DeviceEvent {
+                    phase: ev.phase.label().to_string(),
+                    start_s: ev.start_s,
+                    duration_s: ev.duration_s,
+                    bytes: ev.bytes,
+                });
+            }
+            let traffic = report.traffic;
+            self.telemetry
+                .gauge("device.ssd_to_fpga_bytes")
+                .set(traffic.ssd_to_fpga as f64);
+            self.telemetry
+                .gauge("device.fpga_to_host_bytes")
+                .set(traffic.fpga_to_host as f64);
+            self.telemetry
+                .gauge("device.host_to_fpga_bytes")
+                .set(traffic.host_to_fpga as f64);
+            self.telemetry
+                .gauge("device.energy_j")
+                .set(report.device_energy_j);
+            self.telemetry
+                .gauge("device.sim_secs")
+                .set(report.device_secs());
+            self.telemetry.flush();
+        }
         report
     }
 
@@ -242,6 +325,12 @@ impl NessaPipeline {
     /// The simulated device (traffic/energy counters).
     pub fn device(&self) -> &SmartSsd {
         &self.device
+    }
+
+    /// The run's telemetry stream (disabled unless
+    /// [`NessaConfig::telemetry`] enables a mode).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 }
 

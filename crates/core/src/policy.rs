@@ -122,6 +122,7 @@ fn run_cpu_policy(
                         variant: GreedyVariant::Lazy,
                         partition_chunk: None,
                         threads: 1,
+                        metrics: None,
                     },
                     &mut rng,
                 )
@@ -206,7 +207,15 @@ mod tests {
     fn craig_matches_goal_within_margin_at_30pct() {
         let (train, test) = data();
         let goal = run_policy(&Policy::Goal, &train, &test, 10, 32, 0, &model);
-        let craig = run_policy(&Policy::Craig { fraction: 0.3 }, &train, &test, 10, 32, 0, &model);
+        let craig = run_policy(
+            &Policy::Craig { fraction: 0.3 },
+            &train,
+            &test,
+            10,
+            32,
+            0,
+            &model,
+        );
         assert_eq!(craig.epochs[0].subset_size, 90);
         assert!(
             craig.final_accuracy() > goal.final_accuracy() - 0.12,
@@ -245,8 +254,24 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let (train, test) = data();
-        let a = run_policy(&Policy::Craig { fraction: 0.2 }, &train, &test, 3, 32, 5, &model);
-        let b = run_policy(&Policy::Craig { fraction: 0.2 }, &train, &test, 3, 32, 5, &model);
+        let a = run_policy(
+            &Policy::Craig { fraction: 0.2 },
+            &train,
+            &test,
+            3,
+            32,
+            5,
+            &model,
+        );
+        let b = run_policy(
+            &Policy::Craig { fraction: 0.2 },
+            &train,
+            &test,
+            3,
+            32,
+            5,
+            &model,
+        );
         assert_eq!(a.accuracy_curve(), b.accuracy_curve());
     }
 }

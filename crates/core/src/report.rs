@@ -25,6 +25,13 @@ pub struct EpochRecord {
     pub io_secs: f64,
 }
 
+impl EpochRecord {
+    /// Total simulated device seconds for the epoch (selection + I/O).
+    pub fn total_secs(&self) -> f64 {
+        self.select_secs + self.io_secs
+    }
+}
+
 /// A full training run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
@@ -81,7 +88,10 @@ impl RunReport {
     /// First epoch reaching `target` test accuracy, if any (convergence
     /// speed, §4.3).
     pub fn epochs_to_accuracy(&self, target: f32) -> Option<usize> {
-        self.epochs.iter().find(|e| e.test_acc >= target).map(|e| e.epoch)
+        self.epochs
+            .iter()
+            .find(|e| e.test_acc >= target)
+            .map(|e| e.epoch)
     }
 
     /// Total simulated selection + I/O seconds across the run.
@@ -89,14 +99,65 @@ impl RunReport {
         self.epochs.iter().map(|e| e.select_secs + e.io_secs).sum()
     }
 
+    /// JSONL rendering: one `{"type":"epoch",...}` object per epoch
+    /// followed by one `{"type":"run",...}` summary line. Numbers use
+    /// shortest-round-trip formatting, so the simulated timings re-parse
+    /// exactly.
+    pub fn to_jsonl(&self) -> String {
+        use nessa_telemetry::json::JsonObject;
+        let mut out = String::new();
+        for e in &self.epochs {
+            out.push_str(
+                &JsonObject::new()
+                    .str_field("type", "epoch")
+                    .u64_field("epoch", e.epoch as u64)
+                    .f64_field("lr", e.lr as f64)
+                    .u64_field("subset_size", e.subset_size as u64)
+                    .u64_field("pool_size", e.pool_size as u64)
+                    .f64_field("train_loss", e.train_loss as f64)
+                    .f64_field("test_acc", e.test_acc as f64)
+                    .f64_field("select_s", e.select_secs)
+                    .f64_field("io_s", e.io_secs)
+                    .f64_field("total_s", e.total_secs())
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out.push_str(
+            &JsonObject::new()
+                .str_field("type", "run")
+                .str_field("name", &self.name)
+                .u64_field("train_size", self.train_size as u64)
+                .u64_field("epochs", self.epochs.len() as u64)
+                .f64_field("final_acc", self.final_accuracy() as f64)
+                .f64_field("best_acc", self.best_accuracy() as f64)
+                .f64_field("mean_subset_pct", self.mean_subset_pct() as f64)
+                .f64_field("device_secs", self.device_secs())
+                .f64_field("device_energy_j", self.device_energy_j)
+                .u64_field("ssd_to_fpga_bytes", self.traffic.ssd_to_fpga)
+                .u64_field("fpga_to_host_bytes", self.traffic.fpga_to_host)
+                .u64_field("host_to_fpga_bytes", self.traffic.host_to_fpga)
+                .finish(),
+        );
+        out.push('\n');
+        out
+    }
+
     /// CSV rendering (`epoch,lr,subset,pool,loss,acc,select_s,io_s`).
     pub fn to_csv(&self) -> String {
-        let mut s = String::from("epoch,lr,subset_size,pool_size,train_loss,test_acc,select_s,io_s\n");
+        let mut s =
+            String::from("epoch,lr,subset_size,pool_size,train_loss,test_acc,select_s,io_s\n");
         for e in &self.epochs {
             s.push_str(&format!(
                 "{},{},{},{},{:.6},{:.4},{:.6},{:.6}\n",
-                e.epoch, e.lr, e.subset_size, e.pool_size, e.train_loss, e.test_acc,
-                e.select_secs, e.io_secs
+                e.epoch,
+                e.lr,
+                e.subset_size,
+                e.pool_size,
+                e.train_loss,
+                e.test_acc,
+                e.select_secs,
+                e.io_secs
             ));
         }
         s
@@ -180,6 +241,34 @@ mod tests {
         let csv = sample_report().to_csv();
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("epoch,"));
+    }
+
+    #[test]
+    fn epoch_total_secs_sums_phases() {
+        let r = sample_report();
+        assert!((r.epochs[0].total_secs() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_has_epoch_and_run_lines() {
+        use nessa_telemetry::{extract_num_field, extract_str_field};
+        let jsonl = sample_report().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert_eq!(
+            extract_str_field(lines[0], "type").as_deref(),
+            Some("epoch")
+        );
+        // Shortest-round-trip formatting preserves the exact f64 sum.
+        assert_eq!(extract_num_field(lines[0], "total_s"), Some(0.1 + 0.2));
+        let run = lines[2];
+        assert_eq!(extract_str_field(run, "type").as_deref(), Some("run"));
+        assert_eq!(extract_str_field(run, "name").as_deref(), Some("test"));
+        let device_secs = extract_num_field(run, "device_secs").unwrap();
+        assert!((device_secs - 0.6).abs() < 1e-12, "{device_secs}");
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl SubsetSizer {
     ///
     /// Panics if any parameter is out of range.
     pub fn new(initial: f32, threshold: f32, factor: f32, min_fraction: f32) -> Self {
-        assert!(initial > 0.0 && initial <= 1.0, "initial fraction out of range");
+        assert!(
+            initial > 0.0 && initial <= 1.0,
+            "initial fraction out of range"
+        );
         assert!(threshold >= 0.0, "threshold must be non-negative");
         assert!(factor > 0.0 && factor < 1.0, "factor must be in (0, 1)");
         assert!(

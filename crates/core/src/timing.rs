@@ -240,9 +240,9 @@ pub fn mean_data_movement_reduction(specs: &[DatasetSpec]) -> f64 {
         let Some(paper) = spec.paper else { continue };
         let w = Workload::from_spec(spec);
         let full_bytes = w.samples as f64 * w.bytes_per_sample as f64;
-        let subset_bytes =
-            w.subset(paper.subset_pct as f64 / 100.0) as f64 * w.bytes_per_sample as f64
-                + estimate_params(&w) as f64 / 4.0;
+        let subset_bytes = w.subset(paper.subset_pct as f64 / 100.0) as f64
+            * w.bytes_per_sample as f64
+            + estimate_params(&w) as f64 / 4.0;
         total += full_bytes / subset_bytes;
         count += 1;
     }

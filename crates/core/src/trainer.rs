@@ -6,7 +6,33 @@ use nessa_nn::loss::weighted_softmax_cross_entropy;
 use nessa_nn::metrics::accuracy;
 use nessa_nn::models::Network;
 use nessa_nn::optim::Sgd;
+use nessa_telemetry::{Counter, Histogram, Telemetry};
 use nessa_tensor::rng::Rng64;
+
+/// Telemetry handles updated by the training loop, batch by batch.
+#[derive(Debug, Clone, Default)]
+pub struct TrainMetrics {
+    /// Optimizer steps taken (one per mini-batch).
+    pub batches: Counter,
+    /// Samples consumed (weighted-subset samples, counted with
+    /// multiplicity across epochs).
+    pub samples: Counter,
+    /// Distribution of per-batch weighted mean losses.
+    pub batch_loss: Histogram,
+}
+
+impl TrainMetrics {
+    /// Handles registered under the `train.*` names in `telemetry`'s
+    /// metrics registry (detached no-op handles when telemetry is
+    /// disabled).
+    pub fn from_telemetry(telemetry: &Telemetry) -> Self {
+        Self {
+            batches: telemetry.counter("train.batches"),
+            samples: telemetry.counter("train.samples"),
+            batch_loss: telemetry.histogram("train.batch_loss"),
+        }
+    }
+}
 
 /// Result of one training epoch.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +64,26 @@ pub fn train_epoch(
     lr: f32,
     rng: &mut Rng64,
 ) -> EpochOutcome {
+    train_epoch_metered(
+        net, opt, dataset, indices, weights, batch_size, lr, rng, None,
+    )
+}
+
+/// [`train_epoch`] with optional per-batch instrumentation: each
+/// mini-batch counts toward `batches`/`samples` and observes its weighted
+/// mean loss in the `batch_loss` histogram.
+#[allow(clippy::too_many_arguments)] // see train_epoch
+pub fn train_epoch_metered(
+    net: &mut Network,
+    opt: &mut Sgd,
+    dataset: &Dataset,
+    indices: &[usize],
+    weights: &[f32],
+    batch_size: usize,
+    lr: f32,
+    rng: &mut Rng64,
+    metrics: Option<&TrainMetrics>,
+) -> EpochOutcome {
     assert_eq!(indices.len(), weights.len(), "index/weight length mismatch");
     assert!(!indices.is_empty(), "cannot train on an empty subset");
     assert!(batch_size > 0, "batch size must be positive");
@@ -60,6 +106,11 @@ pub fn train_epoch(
         let bw: f64 = batch_w.iter().map(|&w| w as f64).sum();
         loss_sum += out.mean_loss as f64 * bw;
         weight_sum += bw;
+        if let Some(m) = metrics {
+            m.batches.inc();
+            m.samples.add(batch_idx.len() as u64);
+            m.batch_loss.observe(out.mean_loss as f64);
+        }
     }
     EpochOutcome {
         mean_loss: (loss_sum / weight_sum.max(1e-12)) as f32,
@@ -119,7 +170,12 @@ mod tests {
             last = train_epoch(&mut net, &mut opt, &train, &all, &ones, 32, 0.05, &mut rng);
         }
         let acc = evaluate(&mut net, &test, 32);
-        assert!(last.mean_loss < first.mean_loss, "{} !< {}", last.mean_loss, first.mean_loss);
+        assert!(
+            last.mean_loss < first.mean_loss,
+            "{} !< {}",
+            last.mean_loss,
+            first.mean_loss
+        );
         assert!(acc > acc0.max(0.8), "accuracy {acc} (baseline {acc0})");
     }
 
@@ -156,6 +212,33 @@ mod tests {
         };
         // Every prediction collapses to class 0.
         assert!(preds.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn metered_epoch_counts_batches_and_samples() {
+        let (train, _) = easy_dataset();
+        let mut rng = Rng64::new(4);
+        let mut net = mlp(&[8, 8, 4], &mut rng);
+        let mut opt = Sgd::new(SgdConfig::default());
+        let idx: Vec<usize> = (0..50).collect();
+        let w = vec![1.0f32; 50];
+        let metrics = TrainMetrics::default();
+        let out = train_epoch_metered(
+            &mut net,
+            &mut opt,
+            &train,
+            &idx,
+            &w,
+            16,
+            0.05,
+            &mut rng,
+            Some(&metrics),
+        );
+        // 50 samples at batch 16 → 4 optimizer steps (last batch partial).
+        assert_eq!(metrics.batches.get(), 4);
+        assert_eq!(metrics.samples.get(), 50);
+        assert_eq!(metrics.batch_loss.count(), 4);
+        assert!(out.mean_loss > 0.0);
     }
 
     #[test]

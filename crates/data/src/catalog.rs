@@ -85,7 +85,11 @@ impl DatasetSpec {
                 bytes_per_image: 3_000,
                 image_hw: 32,
                 model: PaperModel::ResNet20,
-                paper: Some(PaperTable2 { all_data_acc: 92.02, nessa_acc: 90.17, subset_pct: 28.0 }),
+                paper: Some(PaperTable2 {
+                    all_data_acc: 92.02,
+                    nessa_acc: 90.17,
+                    subset_pct: 28.0,
+                }),
                 scaled_cluster_std: 0.59,
                 scaled_class_sep: 0.62,
             },
@@ -96,7 +100,11 @@ impl DatasetSpec {
                 bytes_per_image: 3_000,
                 image_hw: 32,
                 model: PaperModel::ResNet18,
-                paper: Some(PaperTable2 { all_data_acc: 95.81, nessa_acc: 95.18, subset_pct: 15.0 }),
+                paper: Some(PaperTable2 {
+                    all_data_acc: 95.81,
+                    nessa_acc: 95.18,
+                    subset_pct: 15.0,
+                }),
                 scaled_cluster_std: 0.45,
                 scaled_class_sep: 0.70,
             },
@@ -107,7 +115,11 @@ impl DatasetSpec {
                 bytes_per_image: 3_000,
                 image_hw: 32,
                 model: PaperModel::ResNet18,
-                paper: Some(PaperTable2 { all_data_acc: 81.49, nessa_acc: 80.26, subset_pct: 30.0 }),
+                paper: Some(PaperTable2 {
+                    all_data_acc: 81.49,
+                    nessa_acc: 80.26,
+                    subset_pct: 30.0,
+                }),
                 scaled_cluster_std: 0.83,
                 scaled_class_sep: 0.52,
             },
@@ -118,7 +130,11 @@ impl DatasetSpec {
                 bytes_per_image: 3_000,
                 image_hw: 32,
                 model: PaperModel::ResNet18,
-                paper: Some(PaperTable2 { all_data_acc: 70.98, nessa_acc: 69.23, subset_pct: 38.0 }),
+                paper: Some(PaperTable2 {
+                    all_data_acc: 70.98,
+                    nessa_acc: 69.23,
+                    subset_pct: 38.0,
+                }),
                 scaled_cluster_std: 0.96,
                 scaled_class_sep: 0.55,
             },
@@ -129,7 +145,11 @@ impl DatasetSpec {
                 bytes_per_image: 12_000,
                 image_hw: 64,
                 model: PaperModel::ResNet18,
-                paper: Some(PaperTable2 { all_data_acc: 63.40, nessa_acc: 63.66, subset_pct: 34.0 }),
+                paper: Some(PaperTable2 {
+                    all_data_acc: 63.40,
+                    nessa_acc: 63.66,
+                    subset_pct: 34.0,
+                }),
                 scaled_cluster_std: 0.83,
                 scaled_class_sep: 0.50,
             },
@@ -140,7 +160,11 @@ impl DatasetSpec {
                 bytes_per_image: 130_000,
                 image_hw: 224,
                 model: PaperModel::ResNet50,
-                paper: Some(PaperTable2 { all_data_acc: 84.60, nessa_acc: 83.76, subset_pct: 28.0 }),
+                paper: Some(PaperTable2 {
+                    all_data_acc: 84.60,
+                    nessa_acc: 83.76,
+                    subset_pct: 28.0,
+                }),
                 scaled_cluster_std: 0.82,
                 scaled_class_sep: 0.62,
             },
@@ -215,7 +239,14 @@ mod tests {
         let names: Vec<&str> = t.iter().map(|s| s.name).collect();
         assert_eq!(
             names,
-            vec!["CIFAR-10", "SVHN", "CINIC-10", "CIFAR-100", "TinyImageNet", "ImageNet-100"]
+            vec![
+                "CIFAR-10",
+                "SVHN",
+                "CINIC-10",
+                "CIFAR-100",
+                "TinyImageNet",
+                "ImageNet-100"
+            ]
         );
         let c10 = &t[0];
         assert_eq!(c10.classes, 10);
@@ -247,7 +278,12 @@ mod tests {
         for spec in DatasetSpec::table1() {
             let cfg = spec.scaled_config(0);
             assert!(cfg.train >= 30 * spec.classes, "{}", spec.name);
-            assert!(cfg.train <= 10_000, "{} too large: {}", spec.name, cfg.train);
+            assert!(
+                cfg.train <= 10_000,
+                "{} too large: {}",
+                spec.name,
+                cfg.train
+            );
             assert_eq!(cfg.bytes_per_sample, spec.bytes_per_image);
             let (train, test) = cfg.generate();
             assert_eq!(train.len(), cfg.train);

@@ -15,7 +15,10 @@ use nessa_tensor::rng::Rng64;
 ///
 /// Panics if `bytes` is empty and `count > 0`.
 pub fn flip_random_bits(bytes: &mut [u8], count: usize, rng: &mut Rng64) {
-    assert!(count == 0 || !bytes.is_empty(), "cannot flip bits in an empty buffer");
+    assert!(
+        count == 0 || !bytes.is_empty(),
+        "cannot flip bits in an empty buffer"
+    );
     for _ in 0..count {
         let i = rng.index(bytes.len());
         let bit = rng.index(8);
@@ -45,8 +48,14 @@ pub fn inject_label_noise(
     fraction: f32,
     rng: &mut Rng64,
 ) -> (Dataset, Vec<usize>) {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
-    assert!(dataset.classes() >= 2, "label noise needs at least two classes");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    assert!(
+        dataset.classes() >= 2,
+        "label noise needs at least two classes"
+    );
     let n = dataset.len();
     let victims = rng.sample_indices(n, ((n as f32) * fraction).round() as usize);
     let mut labels = dataset.labels().to_vec();

@@ -14,7 +14,6 @@
 //! the raw pixels the paper's SmartSSD stores and moves.
 
 use crate::dataset::Dataset;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// File magic.
@@ -48,7 +47,10 @@ impl fmt::Display for RecordError {
             RecordError::BadMagic => write!(f, "bad magic; not a NeSSA record stream"),
             RecordError::BadVersion(v) => write!(f, "unsupported record version {v}"),
             RecordError::Truncated { expected, actual } => {
-                write!(f, "truncated stream: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "truncated stream: expected {expected} bytes, got {actual}"
+                )
             }
             RecordError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
         }
@@ -69,24 +71,54 @@ pub fn encoded_len(dataset: &Dataset) -> usize {
 }
 
 /// Serializes a dataset into its on-flash representation.
-pub fn encode_dataset(dataset: &Dataset) -> Bytes {
+pub fn encode_dataset(dataset: &Dataset) -> Vec<u8> {
     let rec_len = record_len(dataset.dim(), dataset.bytes_per_sample());
-    let mut buf = BytesMut::with_capacity(encoded_len(dataset));
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(dataset.classes() as u32);
-    buf.put_u32_le(dataset.dim() as u32);
-    buf.put_u32_le(rec_len as u32);
-    buf.put_u32_le(dataset.len() as u32);
+    let mut buf = Vec::with_capacity(encoded_len(dataset));
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(dataset.classes() as u32).to_le_bytes());
+    buf.extend_from_slice(&(dataset.dim() as u32).to_le_bytes());
+    buf.extend_from_slice(&(rec_len as u32).to_le_bytes());
+    buf.extend_from_slice(&(dataset.len() as u32).to_le_bytes());
     let payload = 4 + 4 * dataset.dim();
     for i in 0..dataset.len() {
-        buf.put_u32_le(dataset.label(i) as u32);
+        buf.extend_from_slice(&(dataset.label(i) as u32).to_le_bytes());
         for &v in dataset.sample(i) {
-            buf.put_f32_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
-        buf.put_bytes(0, rec_len - payload);
+        buf.resize(buf.len() + (rec_len - payload), 0);
     }
-    buf.freeze()
+    buf
+}
+
+/// A little-endian cursor over a byte slice (the decode-side counterpart
+/// of the plain `Vec<u8>` encoder above).
+struct Cursor<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        head
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().expect("2 bytes"))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
 }
 
 /// Deserializes a dataset from its on-flash representation.
@@ -95,16 +127,15 @@ pub fn encode_dataset(dataset: &Dataset) -> Bytes {
 ///
 /// Returns a [`RecordError`] when the stream is malformed: wrong magic or
 /// version, truncated contents, or labels out of range.
-pub fn decode_dataset(name: &str, mut bytes: &[u8]) -> Result<Dataset, RecordError> {
+pub fn decode_dataset(name: &str, bytes: &[u8]) -> Result<Dataset, RecordError> {
     if bytes.len() < HEADER_LEN {
         return Err(RecordError::Truncated {
             expected: HEADER_LEN,
             actual: bytes.len(),
         });
     }
-    let mut magic = [0u8; 4];
-    bytes.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let mut bytes = Cursor { bytes };
+    if bytes.take(4) != MAGIC {
         return Err(RecordError::BadMagic);
     }
     let version = bytes.get_u16_le();
@@ -140,7 +171,7 @@ pub fn decode_dataset(name: &str, mut bytes: &[u8]) -> Result<Dataset, RecordErr
         for _ in 0..dim {
             features.push(bytes.get_f32_le());
         }
-        bytes.advance(pad);
+        bytes.take(pad);
     }
     let x = nessa_tensor::Tensor::from_vec(features, &[count, dim]);
     Ok(Dataset::new(name, x, labels, classes, rec_len))
@@ -285,7 +316,10 @@ mod tests {
         for e in [
             RecordError::BadMagic,
             RecordError::BadVersion(2),
-            RecordError::Truncated { expected: 10, actual: 5 },
+            RecordError::Truncated {
+                expected: 10,
+                actual: 5,
+            },
             RecordError::Corrupt("x"),
         ] {
             assert!(!format!("{e}").is_empty());

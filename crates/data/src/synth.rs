@@ -86,7 +86,10 @@ impl SynthConfig {
         assert!(self.classes > 0, "classes must be positive");
         assert!(self.train > 0, "train size must be positive");
         assert!(self.dim > 0, "dim must be positive");
-        assert!(self.clusters_per_class > 0, "clusters_per_class must be positive");
+        assert!(
+            self.clusters_per_class > 0,
+            "clusters_per_class must be positive"
+        );
         let mut rng = Rng64::new(self.seed);
         // Class centroids, then cluster modes around each centroid.
         let centroids = Tensor::randn(&[self.classes, self.dim], 0.0, self.class_sep, &mut rng);

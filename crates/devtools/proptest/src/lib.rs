@@ -1,0 +1,129 @@
+//! An offline, dependency-free subset of the [proptest] property-testing
+//! API, providing exactly the surface this workspace's test suites use:
+//!
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros,
+//! * [`Strategy`] with [`Strategy::prop_map`],
+//! * integer / float range strategies (`0usize..128`, `-3.0f32..3.0`),
+//! * tuple strategies, [`arbitrary::any`], [`strategy::Just`], and
+//!   [`collection::vec`].
+//!
+//! The container image has no crates-io mirror, so the real crate cannot
+//! be fetched; this stand-in keeps the property suites runnable and is
+//! API-compatible for the subset above (swap the path dependency back to
+//! the registry crate to regain shrinking and failure persistence —
+//! neither affects whether a property holds).
+//!
+//! Cases are generated from a fixed per-test seed (derived from the test
+//! function's name), so failures reproduce deterministically. There is no
+//! shrinking: the failing inputs are reported as generated.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Number of cases each `proptest!` test executes.
+pub const DEFAULT_CASES: usize = 96;
+
+/// The `prop::` module alias exposed by [`prelude`], mirroring the real
+/// crate's `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// block becomes a normal `#[test]` that draws [`DEFAULT_CASES`] input
+/// tuples from its strategies and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    ($( #[test] fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )+) => {
+        $(
+            #[test]
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..$crate::DEFAULT_CASES {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )+
+                    let __inputs = format!(
+                        concat!("case {} of ", stringify!($name), ": ", $( stringify!($arg), " = {:?} " ),+),
+                        __case, $( &$arg ),+
+                    );
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = __result {
+                        eprintln!("proptest failure at {__inputs}");
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in -2.0f32..5.0, b in any::<u64>()) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.0..5.0).contains(&x));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(xs in prop::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&v| v < 10));
+        }
+
+        #[test]
+        fn map_and_tuples_compose(v in (1usize..4, 0i32..3).prop_map(|(a, b)| a as i32 + b)) {
+            prop_assert!((1..6).contains(&v));
+        }
+
+        #[test]
+        fn just_yields_constant(v in Just(7u8)) {
+            prop_assert_eq!(v, 7);
+            prop_assert_ne!(v, 8);
+        }
+    }
+
+    #[test]
+    fn same_test_name_replays_same_cases() {
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -156,8 +156,7 @@ pub fn epoch_time(
     training_flops_per_sample: u64,
     bytes_per_sample: u64,
 ) -> EpochTime {
-    let compute_s =
-        samples as f64 * training_flops_per_sample as f64 / device.sustained_flops();
+    let compute_s = samples as f64 * training_flops_per_sample as f64 / device.sustained_flops();
     let io_s = samples as f64 * loader.sample_time_s(bytes_per_sample);
     EpochTime { compute_s, io_s }
 }
@@ -242,7 +241,10 @@ mod tests {
 
     #[test]
     fn io_fraction_zero_when_no_time() {
-        let t = EpochTime { compute_s: 0.0, io_s: 0.0 };
+        let t = EpochTime {
+            compute_s: 0.0,
+            io_s: 0.0,
+        };
         assert_eq!(t.io_fraction(), 0.0);
     }
 }

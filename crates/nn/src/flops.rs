@@ -91,12 +91,36 @@ impl ArchSpec {
                 }
                 let mid = cout / 4;
                 // 1×1 reduce, 3×3, 1×1 expand.
-                convs.push(ConvSpec { cin, cout: mid, k: 1, oh: size, ow: size });
-                convs.push(ConvSpec { cin: mid, cout: mid, k: 3, oh: size, ow: size });
-                convs.push(ConvSpec { cin: mid, cout, k: 1, oh: size, ow: size });
+                convs.push(ConvSpec {
+                    cin,
+                    cout: mid,
+                    k: 1,
+                    oh: size,
+                    ow: size,
+                });
+                convs.push(ConvSpec {
+                    cin: mid,
+                    cout: mid,
+                    k: 3,
+                    oh: size,
+                    ow: size,
+                });
+                convs.push(ConvSpec {
+                    cin: mid,
+                    cout,
+                    k: 1,
+                    oh: size,
+                    ow: size,
+                });
                 if b == 0 {
                     // Projection shortcut.
-                    convs.push(ConvSpec { cin, cout, k: 1, oh: size, ow: size });
+                    convs.push(ConvSpec {
+                        cin,
+                        cout,
+                        k: 1,
+                        oh: size,
+                        ow: size,
+                    });
                 }
                 cin = cout;
             }
@@ -133,10 +157,28 @@ impl ArchSpec {
                 if stride == 2 {
                     size = size.div_ceil(2);
                 }
-                convs.push(ConvSpec { cin, cout, k: 3, oh: size, ow: size });
-                convs.push(ConvSpec { cin: cout, cout, k: 3, oh: size, ow: size });
+                convs.push(ConvSpec {
+                    cin,
+                    cout,
+                    k: 3,
+                    oh: size,
+                    ow: size,
+                });
+                convs.push(ConvSpec {
+                    cin: cout,
+                    cout,
+                    k: 3,
+                    oh: size,
+                    ow: size,
+                });
                 if stride == 2 || cin != cout {
-                    convs.push(ConvSpec { cin, cout, k: 1, oh: size, ow: size });
+                    convs.push(ConvSpec {
+                        cin,
+                        cout,
+                        k: 1,
+                        oh: size,
+                        ow: size,
+                    });
                 }
                 cin = cout;
             }
@@ -155,7 +197,13 @@ mod tests {
 
     #[test]
     fn conv_flops_formula() {
-        let c = ConvSpec { cin: 3, cout: 16, k: 3, oh: 32, ow: 32 };
+        let c = ConvSpec {
+            cin: 3,
+            cout: 16,
+            k: 3,
+            oh: 32,
+            ow: 32,
+        };
         assert_eq!(c.flops(), 2 * 3 * 16 * 9 * 1024);
     }
 

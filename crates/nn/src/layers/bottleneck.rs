@@ -108,7 +108,11 @@ impl Layer for Bottleneck {
             .as_ref()
             .expect("Bottleneck::backward before forward");
         let g = grad_out
-            .try_zip(preact, "bottleneck-relu", |g, p| if p > 0.0 { g } else { 0.0 })
+            .try_zip(
+                preact,
+                "bottleneck-relu",
+                |g, p| if p > 0.0 { g } else { 0.0 },
+            )
             .expect("bottleneck gradient shape mismatch");
         let mut gb = self.bn3.backward(&g);
         gb = self.conv3.backward(&gb);
@@ -210,7 +214,10 @@ mod tests {
                 any_zero_grad_weight = true;
             }
         });
-        assert!(!any_zero_grad_weight, "some conv weight received no gradient");
+        assert!(
+            !any_zero_grad_weight,
+            "some conv weight received no gradient"
+        );
     }
 
     #[test]

@@ -314,11 +314,7 @@ mod tests {
         let lhs = col.dot(&y);
         let mut back = vec![0.0f32; 2 * h * w];
         conv.col2im(&y, h, w, &mut back);
-        let rhs: f32 = back
-            .iter()
-            .zip(x.as_slice())
-            .map(|(&a, &b)| a * b)
-            .sum();
+        let rhs: f32 = back.iter().zip(x.as_slice()).map(|(&a, &b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 

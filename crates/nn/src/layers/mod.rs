@@ -273,12 +273,7 @@ pub(crate) mod testutil {
     use super::*;
 
     /// Finite-difference check of a layer's input gradient on a small batch.
-    pub fn check_input_gradient(
-        layer: &mut dyn Layer,
-        x: &Tensor,
-        tol: f32,
-        train: bool,
-    ) {
+    pub fn check_input_gradient(layer: &mut dyn Layer, x: &Tensor, tol: f32, train: bool) {
         // Scalar loss: sum of outputs. dL/dy = ones.
         let y = layer.forward(x, train);
         let gin = layer.backward(&Tensor::ones(y.shape().dims()));

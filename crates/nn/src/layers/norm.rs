@@ -162,8 +162,8 @@ fn bn_backward(
     for (i, &dy) in grad_out.as_slice().iter().enumerate() {
         let g = group_of(i);
         let xh = cache.x_hat.as_slice()[i];
-        grad_in.as_mut_slice()[i] = gs[g] * cache.inv_std[g] / m
-            * (m * dy - sum_dy[g] - xh * sum_dy_xhat[g]);
+        grad_in.as_mut_slice()[i] =
+            gs[g] * cache.inv_std[g] / m * (m * dy - sum_dy[g] - xh * sum_dy_xhat[g]);
     }
     grad_in
 }
@@ -187,7 +187,10 @@ impl Layer for BatchNorm1d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("BatchNorm1d::backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm1d::backward before forward");
         let f = self.features;
         bn_backward(
             grad_out,
@@ -230,7 +233,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("BatchNorm2d::backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward");
         let c = self.channels;
         let hw = cache.in_dims[2] * cache.in_dims[3];
         bn_backward(

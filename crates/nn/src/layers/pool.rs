@@ -183,9 +183,6 @@ mod tests {
         let x = Tensor::ones(&[1, 2, 2, 2]);
         let _ = p.forward(&x, true);
         let g = p.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]));
-        assert_eq!(
-            g.as_slice(),
-            &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]
-        );
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
     }
 }

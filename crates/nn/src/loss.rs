@@ -160,7 +160,12 @@ mod tests {
         let a = softmax_cross_entropy(&logits, &labels);
         let b = weighted_softmax_cross_entropy(&logits, &labels, &[1.0; 4]);
         assert!((a.mean_loss - b.mean_loss).abs() < 1e-6);
-        for (x, y) in a.grad_logits.as_slice().iter().zip(b.grad_logits.as_slice()) {
+        for (x, y) in a
+            .grad_logits
+            .as_slice()
+            .iter()
+            .zip(b.grad_logits.as_slice())
+        {
             assert!((x - y).abs() < 1e-6);
         }
     }

@@ -242,7 +242,11 @@ impl Layer for ResidualBlock {
             .expect("ResidualBlock::backward before forward");
         // Through the final ReLU.
         let g = grad_out
-            .try_zip(preact, "resblock-relu", |g, p| if p > 0.0 { g } else { 0.0 })
+            .try_zip(
+                preact,
+                "resblock-relu",
+                |g, p| if p > 0.0 { g } else { 0.0 },
+            )
             .expect("resblock gradient shape mismatch");
         // Main branch.
         let mut gb = self.bn2.backward(&g);
@@ -294,7 +298,10 @@ impl Layer for ResidualBlock {
 ///
 /// Panics if fewer than two sizes are given.
 pub fn mlp(sizes: &[usize], rng: &mut Rng64) -> Network {
-    assert!(sizes.len() >= 2, "mlp needs at least input and output sizes");
+    assert!(
+        sizes.len() >= 2,
+        "mlp needs at least input and output sizes"
+    );
     let mut net = Network::new(format!("mlp{sizes:?}"));
     for i in 0..sizes.len() - 1 {
         net.push(Linear::new(sizes[i], sizes[i + 1], rng));
@@ -530,7 +537,10 @@ mod tests {
 
     #[test]
     fn resnet_variants_have_expected_depth() {
-        assert_eq!(ResNetConfig::resnet20(3, 10, 16).blocks_per_stage, vec![3, 3, 3]);
+        assert_eq!(
+            ResNetConfig::resnet20(3, 10, 16).blocks_per_stage,
+            vec![3, 3, 3]
+        );
         assert_eq!(
             ResNetConfig::resnet18(3, 10, 16).blocks_per_stage,
             vec![2, 2, 2, 2]

@@ -43,16 +43,66 @@ impl ZooEntry {
 /// 2012–2021, with published FLOP/parameter figures.
 pub fn imagenet_models() -> Vec<ZooEntry> {
     vec![
-        ZooEntry { name: "AlexNet", year: 2012, forward_flops: 1_400_000_000, params: 61_000_000 },
-        ZooEntry { name: "VGG-16", year: 2014, forward_flops: 31_000_000_000, params: 138_000_000 },
-        ZooEntry { name: "GoogLeNet", year: 2014, forward_flops: 3_000_000_000, params: 6_800_000 },
-        ZooEntry { name: "ResNet-50", year: 2015, forward_flops: 8_200_000_000, params: 25_600_000 },
-        ZooEntry { name: "ResNet-152", year: 2016, forward_flops: 23_000_000_000, params: 60_200_000 },
-        ZooEntry { name: "DenseNet-201", year: 2017, forward_flops: 8_600_000_000, params: 20_000_000 },
-        ZooEntry { name: "SENet-154", year: 2018, forward_flops: 41_400_000_000, params: 115_000_000 },
-        ZooEntry { name: "EfficientNet-B7", year: 2019, forward_flops: 74_000_000_000, params: 66_000_000 },
-        ZooEntry { name: "ViT-L/16", year: 2020, forward_flops: 123_000_000_000, params: 307_000_000 },
-        ZooEntry { name: "ViT-H/14", year: 2021, forward_flops: 334_000_000_000, params: 632_000_000 },
+        ZooEntry {
+            name: "AlexNet",
+            year: 2012,
+            forward_flops: 1_400_000_000,
+            params: 61_000_000,
+        },
+        ZooEntry {
+            name: "VGG-16",
+            year: 2014,
+            forward_flops: 31_000_000_000,
+            params: 138_000_000,
+        },
+        ZooEntry {
+            name: "GoogLeNet",
+            year: 2014,
+            forward_flops: 3_000_000_000,
+            params: 6_800_000,
+        },
+        ZooEntry {
+            name: "ResNet-50",
+            year: 2015,
+            forward_flops: 8_200_000_000,
+            params: 25_600_000,
+        },
+        ZooEntry {
+            name: "ResNet-152",
+            year: 2016,
+            forward_flops: 23_000_000_000,
+            params: 60_200_000,
+        },
+        ZooEntry {
+            name: "DenseNet-201",
+            year: 2017,
+            forward_flops: 8_600_000_000,
+            params: 20_000_000,
+        },
+        ZooEntry {
+            name: "SENet-154",
+            year: 2018,
+            forward_flops: 41_400_000_000,
+            params: 115_000_000,
+        },
+        ZooEntry {
+            name: "EfficientNet-B7",
+            year: 2019,
+            forward_flops: 74_000_000_000,
+            params: 66_000_000,
+        },
+        ZooEntry {
+            name: "ViT-L/16",
+            year: 2020,
+            forward_flops: 123_000_000_000,
+            params: 307_000_000,
+        },
+        ZooEntry {
+            name: "ViT-H/14",
+            year: 2021,
+            forward_flops: 334_000_000_000,
+            params: 632_000_000,
+        },
     ]
 }
 

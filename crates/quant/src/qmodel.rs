@@ -33,7 +33,11 @@ impl QuantizedModel {
     ///
     /// Panics if the parameter count or any shape differs.
     pub fn apply_to(&self, target: &mut Network) {
-        let weights: Vec<_> = self.tensors.iter().map(QuantizedTensor::dequantize).collect();
+        let weights: Vec<_> = self
+            .tensors
+            .iter()
+            .map(QuantizedTensor::dequantize)
+            .collect();
         target.import_weights(&weights);
     }
 
@@ -54,7 +58,10 @@ impl QuantizedModel {
 
     /// Bytes this snapshot occupies on the interconnect.
     pub fn payload_bytes(&self) -> usize {
-        self.tensors.iter().map(QuantizedTensor::payload_bytes).sum()
+        self.tensors
+            .iter()
+            .map(QuantizedTensor::payload_bytes)
+            .sum()
     }
 
     /// Bytes the same snapshot would occupy unquantized (f32).

@@ -169,7 +169,13 @@ mod tests {
         let t = Tensor::randn(&[16, 16], 0.0, 1.0, &mut rng);
         let mut prev = f32::INFINITY;
         for bits in [4u8, 8, 12, 16] {
-            let e = relative_error(&t, Scheme { bits, granularity: Granularity::PerTensor });
+            let e = relative_error(
+                &t,
+                Scheme {
+                    bits,
+                    granularity: Granularity::PerTensor,
+                },
+            );
             assert!(e < prev, "bits {bits}: {e} !< {prev}");
             prev = e;
         }
@@ -187,13 +193,37 @@ mod tests {
             }
         }
         let t = Tensor::from_vec(data, &[8, 16]);
-        let e_tensor = relative_error(&t, Scheme { bits: 8, granularity: Granularity::PerTensor });
-        let e_row = relative_error(&t, Scheme { bits: 8, granularity: Granularity::PerRow });
+        let e_tensor = relative_error(
+            &t,
+            Scheme {
+                bits: 8,
+                granularity: Granularity::PerTensor,
+            },
+        );
+        let e_row = relative_error(
+            &t,
+            Scheme {
+                bits: 8,
+                granularity: Granularity::PerRow,
+            },
+        );
         // Global relative error improves, and the small-magnitude rows —
         // crushed to zero by the shared scale — are recovered.
         assert!(e_row < e_tensor, "row {e_row} vs tensor {e_tensor}");
-        let qt = SchemeQuantized::quantize(&t, Scheme { bits: 8, granularity: Granularity::PerTensor });
-        let qr = SchemeQuantized::quantize(&t, Scheme { bits: 8, granularity: Granularity::PerRow });
+        let qt = SchemeQuantized::quantize(
+            &t,
+            Scheme {
+                bits: 8,
+                granularity: Granularity::PerTensor,
+            },
+        );
+        let qr = SchemeQuantized::quantize(
+            &t,
+            Scheme {
+                bits: 8,
+                granularity: Granularity::PerRow,
+            },
+        );
         let small_row = 0; // magnitude 1e-4 vs row 7's 1e3
         let bt = qt.dequantize();
         let br = qr.dequantize();
@@ -210,11 +240,23 @@ mod tests {
     #[test]
     fn payload_scales_with_bits() {
         let t = Tensor::zeros(&[100]);
-        let p4 = SchemeQuantized::quantize(&t, Scheme { bits: 4, granularity: Granularity::PerTensor })
-            .payload_bytes();
+        let p4 = SchemeQuantized::quantize(
+            &t,
+            Scheme {
+                bits: 4,
+                granularity: Granularity::PerTensor,
+            },
+        )
+        .payload_bytes();
         let p8 = SchemeQuantized::quantize(&t, Scheme::int8()).payload_bytes();
-        let p16 = SchemeQuantized::quantize(&t, Scheme { bits: 16, granularity: Granularity::PerTensor })
-            .payload_bytes();
+        let p16 = SchemeQuantized::quantize(
+            &t,
+            Scheme {
+                bits: 16,
+                granularity: Granularity::PerTensor,
+            },
+        )
+        .payload_bytes();
         assert_eq!(p4, 50 + 4);
         assert_eq!(p8, 100 + 4);
         assert_eq!(p16, 200 + 4);
@@ -224,7 +266,13 @@ mod tests {
     fn error_within_bound() {
         let mut rng = Rng64::new(2);
         let t = Tensor::rand_uniform(&[4, 12], -5.0, 5.0, &mut rng);
-        let q = SchemeQuantized::quantize(&t, Scheme { bits: 6, granularity: Granularity::PerRow });
+        let q = SchemeQuantized::quantize(
+            &t,
+            Scheme {
+                bits: 6,
+                granularity: Granularity::PerRow,
+            },
+        );
         let back = q.dequantize();
         let bounds = q.error_bounds();
         for (r, &bound) in bounds.iter().enumerate() {
@@ -237,13 +285,25 @@ mod tests {
     #[test]
     fn per_row_on_1d_falls_back_to_per_tensor() {
         let t = Tensor::from_slice(&[1.0, -2.0, 3.0]);
-        let q = SchemeQuantized::quantize(&t, Scheme { bits: 8, granularity: Granularity::PerRow });
+        let q = SchemeQuantized::quantize(
+            &t,
+            Scheme {
+                bits: 8,
+                granularity: Granularity::PerRow,
+            },
+        );
         assert_eq!(q.error_bounds().len(), 1);
     }
 
     #[test]
     #[should_panic(expected = "bits must be in")]
     fn rejects_bad_width() {
-        let _ = SchemeQuantized::quantize(&Tensor::zeros(&[2]), Scheme { bits: 1, granularity: Granularity::PerTensor });
+        let _ = SchemeQuantized::quantize(
+            &Tensor::zeros(&[2]),
+            Scheme {
+                bits: 1,
+                granularity: Granularity::PerTensor,
+            },
+        );
     }
 }

@@ -8,17 +8,18 @@
 //! on-chip memory, and medoids are selected per chunk — turning the
 //! quadratic similarity computation into a sum of small quadratics.
 //!
-//! Per-class work is independent, so classes are processed on a crossbeam
-//! scoped-thread pool.
+//! Per-class work is independent, so classes are processed on std scoped
+//! threads.
 
-use crate::facility::{maximize, GreedyVariant, SimilarityMatrix};
+use crate::facility::{maximize_metered, GreedyVariant, SimilarityMatrix};
 use crate::fraction_count;
+use crate::metrics::SelectMetrics;
 use crate::Selection;
 use nessa_tensor::rng::Rng64;
 use nessa_tensor::Tensor;
 
 /// Options for [`select_per_class`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CraigOptions {
     /// Greedy maximizer to use inside each class/chunk.
     pub variant: GreedyVariant,
@@ -28,6 +29,9 @@ pub struct CraigOptions {
     pub partition_chunk: Option<usize>,
     /// Worker threads for per-class parallelism (1 = sequential).
     pub threads: usize,
+    /// Telemetry handles updated while the kernel runs (`None` = no
+    /// instrumentation). Handles are shared across worker threads.
+    pub metrics: Option<SelectMetrics>,
 }
 
 impl Default for CraigOptions {
@@ -36,7 +40,18 @@ impl Default for CraigOptions {
             variant: GreedyVariant::Lazy,
             partition_chunk: None,
             threads: 1,
+            metrics: None,
         }
+    }
+}
+
+// Metrics handles are identity-less instrumentation plumbing; equality of
+// options is about the algorithm they configure.
+impl PartialEq for CraigOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.variant == other.variant
+            && self.partition_chunk == other.partition_chunk
+            && self.threads == other.threads
     }
 }
 
@@ -76,9 +91,9 @@ pub fn select_per_class(
     run_per_class(&sim_of, &by_class, fraction, options, rng)
 }
 
-/// Runs the per-class selection bodies, optionally on a crossbeam
-/// scoped-thread pool. RNGs are pre-split per class so the result is
-/// deterministic regardless of thread interleaving.
+/// Runs the per-class selection bodies, optionally on std scoped threads.
+/// RNGs are pre-split per class so the result is deterministic regardless
+/// of thread interleaving.
 fn run_per_class(
     sim_of: &(dyn Fn(&[usize]) -> SimilarityMatrix + Sync),
     by_class: &[Vec<usize>],
@@ -92,18 +107,20 @@ fn run_per_class(
     let mut per_class: Vec<Selection> = Vec::with_capacity(classes);
     if threads == 1 {
         for (members, class_rng) in by_class.iter().zip(class_rngs.iter_mut()) {
-            per_class.push(select_one_class_with(sim_of, members, fraction, options, class_rng));
+            per_class.push(select_one_class_with(
+                sim_of, members, fraction, options, class_rng,
+            ));
         }
     } else {
         let mut slots: Vec<Option<Selection>> = vec![None; classes];
         let chunk = classes.div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for ((slot_chunk, class_chunk), rng_chunk) in slots
                 .chunks_mut(chunk)
                 .zip(by_class.chunks(chunk))
                 .zip(class_rngs.chunks_mut(chunk))
             {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for ((slot, members), class_rng) in slot_chunk
                         .iter_mut()
                         .zip(class_chunk.iter())
@@ -115,8 +132,7 @@ fn run_per_class(
                     }
                 });
             }
-        })
-        .expect("selection worker panicked");
+        });
         per_class.extend(slots.into_iter().map(|s| s.expect("slot filled")));
     }
     let mut merged = Selection::default();
@@ -145,7 +161,11 @@ pub fn select_per_class_factored(
     options: &CraigOptions,
     rng: &mut Rng64,
 ) -> Selection {
-    assert_eq!(residuals.dim(0), features.dim(0), "factor row counts differ");
+    assert_eq!(
+        residuals.dim(0),
+        features.dim(0),
+        "factor row counts differ"
+    );
     assert_eq!(residuals.dim(0), labels.len(), "label count mismatch");
     assert!(
         fraction > 0.0 && fraction <= 1.0,
@@ -177,11 +197,18 @@ fn select_one_class_with(
     if members.is_empty() {
         return Selection::default();
     }
+    let metrics = options.metrics.as_ref();
+    if let Some(m) = metrics {
+        m.classes.inc();
+    }
     let k = fraction_count(members.len(), fraction);
     match options.partition_chunk {
         None => {
+            if let Some(m) = metrics {
+                m.chunks.inc();
+            }
             let sim = sim_of(members);
-            maximize(&sim, k, options.variant, rng).into_global(members)
+            maximize_metered(&sim, k, options.variant, rng, metrics).into_global(members)
         }
         Some(chunk_size) => {
             let chunk_size = chunk_size.max(2);
@@ -192,10 +219,16 @@ fn select_one_class_with(
                 if part.is_empty() {
                     continue;
                 }
+                if let Some(m) = metrics {
+                    m.chunks.inc();
+                }
                 let global: Vec<usize> = part.iter().map(|&i| members[i]).collect();
                 let k_part = fraction_count(part.len(), fraction);
                 let sim = sim_of(&global);
-                merged.extend(maximize(&sim, k_part, options.variant, rng).into_global(&global));
+                merged.extend(
+                    maximize_metered(&sim, k_part, options.variant, rng, metrics)
+                        .into_global(&global),
+                );
             }
             merged
         }
@@ -232,7 +265,7 @@ mod tests {
         let mut rng = Rng64::new(0);
         let sel = select_per_class(&x, &y, 2, 0.2, &CraigOptions::default(), &mut rng);
         assert_eq!(sel.len(), 4); // ceil(10 * 0.2) per class.
-        // Selected labels split evenly.
+                                  // Selected labels split evenly.
         let c0 = sel.indices.iter().filter(|&&i| y[i] == 0).count();
         assert_eq!(c0, 2);
     }
@@ -294,7 +327,10 @@ mod tests {
             &y,
             2,
             0.3,
-            &CraigOptions { threads: 1, ..CraigOptions::default() },
+            &CraigOptions {
+                threads: 1,
+                ..CraigOptions::default()
+            },
             &mut Rng64::new(7),
         );
         let par = select_per_class(
@@ -302,7 +338,10 @@ mod tests {
             &y,
             2,
             0.3,
-            &CraigOptions { threads: 4, ..CraigOptions::default() },
+            &CraigOptions {
+                threads: 4,
+                ..CraigOptions::default()
+            },
             &mut Rng64::new(7),
         );
         assert_eq!(seq, par);

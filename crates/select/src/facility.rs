@@ -8,6 +8,7 @@
 //! the same quality at a fraction of the evaluations — the property that
 //! makes the kernel cheap enough for the SmartSSD FPGA.
 
+use crate::metrics::SelectMetrics;
 use crate::Selection;
 use nessa_tensor::linalg::pairwise_sq_dists;
 use nessa_tensor::rng::Rng64;
@@ -186,6 +187,20 @@ pub fn maximize(
     variant: GreedyVariant,
     rng: &mut Rng64,
 ) -> Selection {
+    maximize_metered(sim, k, variant, rng, None)
+}
+
+/// [`maximize`] with optional kernel instrumentation: each pick counts a
+/// greedy round and observes its winning marginal gain; every candidate
+/// evaluation counts toward `gain_evals` (the dominant kernel cost the
+/// lazy/stochastic variants exist to reduce).
+pub fn maximize_metered(
+    sim: &SimilarityMatrix,
+    k: usize,
+    variant: GreedyVariant,
+    rng: &mut Rng64,
+    metrics: Option<&SelectMetrics>,
+) -> Selection {
     let n = sim.len();
     if n == 0 || k == 0 {
         return Selection::default();
@@ -196,20 +211,33 @@ pub fn maximize(
         return Selection::new(indices, weights);
     }
     let set = match variant {
-        GreedyVariant::Naive => naive_greedy(sim, k),
-        GreedyVariant::Lazy => lazy_greedy(sim, k),
-        GreedyVariant::Stochastic { epsilon } => stochastic_greedy(sim, k, epsilon, rng),
+        GreedyVariant::Naive => naive_greedy(sim, k, metrics),
+        GreedyVariant::Lazy => lazy_greedy(sim, k, metrics),
+        GreedyVariant::Stochastic { epsilon } => stochastic_greedy(sim, k, epsilon, rng, metrics),
     };
     let weights = sim.weights(&set);
     Selection::new(set, weights)
 }
 
-fn naive_greedy(sim: &SimilarityMatrix, k: usize) -> Vec<usize> {
+fn note_pick(metrics: Option<&SelectMetrics>, gain: f32) {
+    if let Some(m) = metrics {
+        m.rounds.inc();
+        m.marginal_gain.observe(gain as f64);
+    }
+}
+
+fn note_evals(metrics: Option<&SelectMetrics>, n: u64) {
+    if let Some(m) = metrics {
+        m.gain_evals.add(n);
+    }
+}
+
+fn naive_greedy(sim: &SimilarityMatrix, k: usize, metrics: Option<&SelectMetrics>) -> Vec<usize> {
     let n = sim.len();
     let mut coverage = vec![f32::NEG_INFINITY; n];
     let mut chosen = Vec::with_capacity(k);
     let mut in_set = vec![false; n];
-    for _ in 0..k {
+    for round in 0..k {
         let mut best = None;
         let mut best_gain = f32::NEG_INFINITY;
         for (j, &taken) in in_set.iter().enumerate() {
@@ -222,6 +250,8 @@ fn naive_greedy(sim: &SimilarityMatrix, k: usize) -> Vec<usize> {
                 best = Some(j);
             }
         }
+        note_evals(metrics, (n - round) as u64);
+        note_pick(metrics, best_gain);
         let j = best.expect("k < n guarantees a candidate");
         in_set[j] = true;
         chosen.push(j);
@@ -236,7 +266,13 @@ fn gain_from(sim: &SimilarityMatrix, j: usize, coverage: &[f32]) -> f32 {
     sim.row(j)
         .iter()
         .zip(coverage.iter())
-        .map(|(&s, &c)| if c == f32::NEG_INFINITY { s } else { (s - c).max(0.0) })
+        .map(|(&s, &c)| {
+            if c == f32::NEG_INFINITY {
+                s
+            } else {
+                (s - c).max(0.0)
+            }
+        })
         .sum()
 }
 
@@ -273,7 +309,7 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-fn lazy_greedy(sim: &SimilarityMatrix, k: usize) -> Vec<usize> {
+fn lazy_greedy(sim: &SimilarityMatrix, k: usize, metrics: Option<&SelectMetrics>) -> Vec<usize> {
     let n = sim.len();
     let mut coverage = vec![f32::NEG_INFINITY; n];
     let mut chosen = Vec::with_capacity(k);
@@ -284,6 +320,7 @@ fn lazy_greedy(sim: &SimilarityMatrix, k: usize) -> Vec<usize> {
             round: 0,
         })
         .collect();
+    note_evals(metrics, n as u64);
     let mut in_set = vec![false; n];
     while chosen.len() < k {
         let top = heap.pop().expect("heap cannot drain before k < n picks");
@@ -291,10 +328,12 @@ fn lazy_greedy(sim: &SimilarityMatrix, k: usize) -> Vec<usize> {
             continue;
         }
         if top.round == chosen.len() {
+            note_pick(metrics, top.gain);
             in_set[top.index] = true;
             chosen.push(top.index);
             absorb_from(sim, top.index, &mut coverage);
         } else {
+            note_evals(metrics, 1);
             heap.push(HeapEntry {
                 gain: gain_from(sim, top.index, &coverage),
                 index: top.index,
@@ -305,7 +344,13 @@ fn lazy_greedy(sim: &SimilarityMatrix, k: usize) -> Vec<usize> {
     chosen
 }
 
-fn stochastic_greedy(sim: &SimilarityMatrix, k: usize, epsilon: f32, rng: &mut Rng64) -> Vec<usize> {
+fn stochastic_greedy(
+    sim: &SimilarityMatrix,
+    k: usize,
+    epsilon: f32,
+    rng: &mut Rng64,
+    metrics: Option<&SelectMetrics>,
+) -> Vec<usize> {
     let n = sim.len();
     let eps = epsilon.clamp(1e-4, 0.99);
     let sample = (((n as f64 / k as f64) * (1.0 / eps as f64).ln()).ceil() as usize).max(1);
@@ -329,6 +374,8 @@ fn stochastic_greedy(sim: &SimilarityMatrix, k: usize, epsilon: f32, rng: &mut R
                 best = j;
             }
         }
+        note_evals(metrics, s as u64);
+        note_pick(metrics, best_gain);
         in_set[best] = true;
         chosen.push(best);
         absorb_from(sim, best, &mut coverage);
@@ -387,8 +434,8 @@ mod tests {
         let x = Tensor::rand_uniform(&[40, 6], -1.0, 1.0, &mut rng);
         let sim = SimilarityMatrix::from_features(&x);
         for k in [1, 3, 10, 25] {
-            let naive = naive_greedy(&sim, k);
-            let lazy = lazy_greedy(&sim, k);
+            let naive = naive_greedy(&sim, k, None);
+            let lazy = lazy_greedy(&sim, k, None);
             // Tie-breaking may differ; the objectives must match exactly
             // up to float noise.
             let fo_n = sim.objective(&naive);
@@ -415,7 +462,7 @@ mod tests {
                 }
             }
         }
-        let greedy = sim.objective(&naive_greedy(&sim, k));
+        let greedy = sim.objective(&naive_greedy(&sim, k, None));
         assert!(
             greedy >= (1.0 - 1.0 / std::f32::consts::E) * best - 1e-3,
             "greedy {greedy} vs optimum {best}"
@@ -427,11 +474,11 @@ mod tests {
         let mut rng = Rng64::new(3);
         let x = Tensor::rand_uniform(&[60, 4], -1.0, 1.0, &mut rng);
         let sim = SimilarityMatrix::from_features(&x);
-        let exact = sim.objective(&naive_greedy(&sim, 10));
+        let exact = sim.objective(&naive_greedy(&sim, 10, None));
         let mut worst: f32 = f32::INFINITY;
         for seed in 0..5 {
             let mut r = Rng64::new(seed);
-            let s = stochastic_greedy(&sim, 10, 0.1, &mut r);
+            let s = stochastic_greedy(&sim, 10, 0.1, &mut r, None);
             worst = worst.min(sim.objective(&s));
         }
         assert!(worst >= 0.85 * exact, "stochastic {worst} vs exact {exact}");

@@ -213,7 +213,11 @@ mod tests {
         rows.extend_from_slice(&[1000.0, 1000.0]);
         let x = Tensor::from_vec(rows, &[11, 2]);
         let sel = select(&x, 2, &mut Rng64::new(3));
-        assert!(sel.indices.contains(&10), "outlier not selected: {:?}", sel.indices);
+        assert!(
+            sel.indices.contains(&10),
+            "outlier not selected: {:?}",
+            sel.indices
+        );
     }
 
     #[test]

@@ -165,7 +165,10 @@ mod tests {
         assert!(c_refined <= c_greedy + 1e-4);
         // Facility-location greedy maximizes coverage, not the k-medoid
         // cost itself, so allow a modest slack factor.
-        assert!(c_greedy <= 1.6 * c_refined + 1e-3, "{c_greedy} vs {c_refined}");
+        assert!(
+            c_greedy <= 1.6 * c_refined + 1e-3,
+            "{c_greedy} vs {c_refined}"
+        );
     }
 
     #[test]

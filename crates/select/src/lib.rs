@@ -27,7 +27,10 @@ pub mod facility;
 pub mod greedi;
 pub mod kcenters;
 pub mod kmedoids;
+pub mod metrics;
 pub mod random;
+
+pub use metrics::SelectMetrics;
 
 /// The number of samples a subset fraction selects from a pool of `n`:
 /// `⌈fraction · n⌉` computed in f64 with a tolerance so that exact

@@ -101,7 +101,10 @@ impl SsdCluster {
         let shards = self.shard_counts(profile.samples);
         let mut worst = 0.0f64;
         for (d, &samples) in self.drives.iter_mut().zip(&shards) {
-            let local = KernelProfile { samples, ..*profile };
+            let local = KernelProfile {
+                samples,
+                ..*profile
+            };
             worst = worst.max(d.run_selection(&local)?);
         }
         self.elapsed_s += worst;

@@ -294,7 +294,10 @@ mod tests {
     #[test]
     fn oversized_kernel_is_rejected_and_costs_nothing() {
         let mut dev = SmartSsd::default();
-        let bad = KernelProfile { chunk: 10_000, ..cifar_profile() };
+        let bad = KernelProfile {
+            chunk: 10_000,
+            ..cifar_profile()
+        };
         assert!(dev.run_selection(&bad).is_err());
         assert_eq!(dev.elapsed_secs(), 0.0);
     }

@@ -28,7 +28,10 @@ impl EnergyMeter {
             power_watts.is_finite() && power_watts >= 0.0,
             "power must be non-negative and finite"
         );
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be non-negative and finite");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be non-negative and finite"
+        );
         let joules = power_watts * secs;
         if let Some(entry) = self.entries.iter_mut().find(|(name, _)| name == component) {
             entry.1 += joules;

@@ -131,8 +131,7 @@ impl KernelProfile {
             return 0.0;
         }
         let chunks = (self.samples as f64 / self.chunk as f64).ceil();
-        let macs_per_chunk =
-            0.5 * self.chunk as f64 * self.chunk as f64 * self.proxy_dim as f64;
+        let macs_per_chunk = 0.5 * self.chunk as f64 * self.chunk as f64 * self.proxy_dim as f64;
         chunks * macs_per_chunk / (spec.mac_units as f64 * spec.clock_hz)
     }
 
@@ -144,8 +143,7 @@ impl KernelProfile {
             return 0.0;
         }
         let chunks = (self.samples as f64 / self.chunk as f64).ceil();
-        let compares_per_chunk =
-            self.k_per_chunk as f64 * self.chunk as f64 * self.chunk as f64;
+        let compares_per_chunk = self.k_per_chunk as f64 * self.chunk as f64 * self.chunk as f64;
         chunks * compares_per_chunk / (spec.comparators as f64 * spec.clock_hz)
     }
 
@@ -197,8 +195,14 @@ mod tests {
     fn max_chunk_is_tight() {
         let spec = FpgaSpec::default();
         let max = KernelProfile::max_chunk_for(&spec, 10);
-        let fits = KernelProfile { chunk: max, ..cifar_profile() };
-        let too_big = KernelProfile { chunk: max + 1, ..cifar_profile() };
+        let fits = KernelProfile {
+            chunk: max,
+            ..cifar_profile()
+        };
+        let too_big = KernelProfile {
+            chunk: max + 1,
+            ..cifar_profile()
+        };
         assert!(fits.check_fit(&spec).is_ok());
         assert!(too_big.check_fit(&spec).is_err());
         // 4.32 MB / 4 bytes ≈ 1000² tile: max chunk should be ~1000.
@@ -210,7 +214,9 @@ mod tests {
         // The whole point of the FPGA kernel: selection must be much
         // cheaper than an epoch of GPU training (paper Fig. 4 shows the
         // NeSSA bar close to the subset-only training bar).
-        let t = cifar_profile().execute_time_s(&FpgaSpec::default()).unwrap();
+        let t = cifar_profile()
+            .execute_time_s(&FpgaSpec::default())
+            .unwrap();
         assert!(t > 0.1, "selection cannot be free: {t}");
         assert!(t < 30.0, "selection too slow: {t}");
     }
@@ -225,7 +231,10 @@ mod tests {
     #[test]
     fn times_scale_with_samples() {
         let spec = FpgaSpec::default();
-        let half = KernelProfile { samples: 25_000, ..cifar_profile() };
+        let half = KernelProfile {
+            samples: 25_000,
+            ..cifar_profile()
+        };
         let full = cifar_profile();
         let r = full.execute_time_s(&spec).unwrap() / half.execute_time_s(&spec).unwrap();
         assert!((r - 2.0).abs() < 0.05, "ratio {r}");

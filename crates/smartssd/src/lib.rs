@@ -43,3 +43,4 @@ pub use device::{SmartSsd, SmartSsdConfig, TrafficStats};
 pub use fpga::{FpgaSpec, KernelProfile};
 pub use pcie::LinkModel;
 pub use resources::{ResourceReport, ResourceUsage};
+pub use trace::{Phase, Trace, TraceEvent};

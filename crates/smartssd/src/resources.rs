@@ -165,10 +165,18 @@ impl ResourceReport {
 impl fmt::Display for ResourceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (lut, ff, bram, dsp) = self.utilization_pct();
-        writeln!(f, "{:<10} {:>10} {:>10}", "Resource", "Available", "Util (%)")?;
+        writeln!(
+            f,
+            "{:<10} {:>10} {:>10}",
+            "Resource", "Available", "Util (%)"
+        )?;
         writeln!(f, "{:<10} {:>10} {:>10.2}", "LUT", self.available.lut, lut)?;
         writeln!(f, "{:<10} {:>10} {:>10.2}", "FF", self.available.ff, ff)?;
-        writeln!(f, "{:<10} {:>10} {:>10.2}", "BRAM", self.available.bram, bram)?;
+        writeln!(
+            f,
+            "{:<10} {:>10} {:>10.2}",
+            "BRAM", self.available.bram, bram
+        )?;
         write!(f, "{:<10} {:>10} {:>10.2}", "DSP", self.available.dsp, dsp)
     }
 }
@@ -212,7 +220,12 @@ mod tests {
     #[test]
     fn over_budget_detected() {
         let report = ResourceReport {
-            used: ResourceUsage { lut: 500_000, ff: 0, bram: 0, dsp: 0 },
+            used: ResourceUsage {
+                lut: 500_000,
+                ff: 0,
+                bram: 0,
+                dsp: 0,
+            },
             available: KU15P_AVAILABLE,
         };
         assert!(!report.fits());
@@ -220,9 +233,27 @@ mod tests {
 
     #[test]
     fn usage_addition() {
-        let a = ResourceUsage { lut: 1, ff: 2, bram: 3, dsp: 4 };
-        let b = ResourceUsage { lut: 10, ff: 20, bram: 30, dsp: 40 };
-        assert_eq!(a + b, ResourceUsage { lut: 11, ff: 22, bram: 33, dsp: 44 });
+        let a = ResourceUsage {
+            lut: 1,
+            ff: 2,
+            bram: 3,
+            dsp: 4,
+        };
+        let b = ResourceUsage {
+            lut: 10,
+            ff: 20,
+            bram: 30,
+            dsp: 40,
+        };
+        assert_eq!(
+            a + b,
+            ResourceUsage {
+                lut: 11,
+                ff: 22,
+                bram: 33,
+                dsp: 44
+            }
+        );
     }
 
     #[test]

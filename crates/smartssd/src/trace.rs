@@ -85,6 +85,13 @@ impl Trace {
         &self.events
     }
 
+    /// Discards all recorded events (the clock is unaffected). Useful for
+    /// re-using a device across runs, or for draining events after
+    /// bridging them into another telemetry stream.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// Number of recorded events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -124,7 +131,12 @@ impl Trace {
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "timeline ({} events, span {:.4}s):", self.len(), self.span_s())?;
+        writeln!(
+            f,
+            "timeline ({} events, span {:.4}s):",
+            self.len(),
+            self.span_s()
+        )?;
         for e in &self.events {
             writeln!(
                 f,
@@ -144,7 +156,12 @@ mod tests {
     use super::*;
 
     fn ev(phase: Phase, start: f64, dur: f64, bytes: u64) -> TraceEvent {
-        TraceEvent { phase, start_s: start, duration_s: dur, bytes }
+        TraceEvent {
+            phase,
+            start_s: start,
+            duration_s: dur,
+            bytes,
+        }
     }
 
     #[test]
@@ -166,6 +183,15 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.span_s(), 0.0);
         assert_eq!(t.total_for(Phase::Ship), 0.0);
+    }
+
+    #[test]
+    fn clear_discards_events() {
+        let mut t = Trace::new();
+        t.record(ev(Phase::Scan, 0.0, 1.0, 10));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t, Trace::default());
     }
 
     #[test]

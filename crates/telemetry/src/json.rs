@@ -1,0 +1,133 @@
+//! A minimal JSON encoder — just enough to emit telemetry event lines.
+//!
+//! The telemetry crate is intentionally zero-dependency, so instead of a
+//! serde derive this module provides a small append-only object builder.
+//! Numbers use Rust's `Display` for `f64`, which is the shortest string
+//! that round-trips to the same bit pattern, so simulated-clock seconds
+//! written here can be re-parsed exactly (the profiling binary relies on
+//! this for its span-vs-report agreement check).
+
+use std::fmt::Write as _;
+
+/// Escapes `s` per RFC 8259 and wraps it in double quotes.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON number (`null` for non-finite values).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An append-only JSON object builder.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+    }
+
+    /// Adds a string field.
+    pub fn str_field(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "{}:{}", quote(key), quote(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_field(mut self, key: &str, value: u64) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "{}:{}", quote(key), value);
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64_field(mut self, key: &str, value: i64) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "{}:{}", quote(key), value);
+        self
+    }
+
+    /// Adds a float field (`null` if non-finite).
+    pub fn f64_field(mut self, key: &str, value: f64) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "{}:{}", quote(key), number(value));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object, array, literal).
+    pub fn raw_field(mut self, key: &str, raw: &str) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "{}:{}", quote(key), raw);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        let v = 0.1 + 0.2;
+        assert_eq!(number(v).parse::<f64>().unwrap(), v);
+        assert_eq!(number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn object_builder_renders_fields_in_order() {
+        let s = JsonObject::new()
+            .str_field("type", "span")
+            .u64_field("id", 7)
+            .f64_field("sim_s", 1.5)
+            .raw_field("attrs", "{}")
+            .finish();
+        assert_eq!(s, r#"{"type":"span","id":7,"sim_s":1.5,"attrs":{}}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,409 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! All handles are cheap `Arc` clones backed by atomics, so instrumented
+//! code can stash them once (e.g. per-batch loss counters in the trainer)
+//! and update them from hot loops without locking. Histograms use
+//! log-spaced fixed buckets: [`BUCKETS_PER_DECADE`] buckets per decade
+//! between `10^MIN_DECADE` and `10^MAX_DECADE`, plus underflow/overflow
+//! buckets, giving ~±15% relative quantile error with zero allocation on
+//! the observe path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Histogram resolution: buckets per power of ten.
+pub const BUCKETS_PER_DECADE: usize = 8;
+/// Smallest finite bucket edge is `10^MIN_DECADE`.
+pub const MIN_DECADE: i32 = -9;
+/// Largest finite bucket edge is `10^MAX_DECADE`.
+pub const MAX_DECADE: i32 = 3;
+/// Number of finite buckets (underflow and overflow are extra).
+pub const FINITE_BUCKETS: usize = ((MAX_DECADE - MIN_DECADE) as usize) * BUCKETS_PER_DECADE;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Reads the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins float gauge (stored as `f64` bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Reads the current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    // underflow | FINITE_BUCKETS log-spaced | overflow
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits_times_1e9: AtomicU64, // sum * 1e9 rounded, for lock-free accumulation
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// A fixed-bucket, log-spaced histogram of non-negative values.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: (0..FINITE_BUCKETS + 2).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits_times_1e9: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    }
+}
+
+/// Upper edge of finite bucket `i` (0-based within the finite range).
+fn finite_edge(i: usize) -> f64 {
+    10f64.powf(MIN_DECADE as f64 + (i as f64 + 1.0) / BUCKETS_PER_DECADE as f64)
+}
+
+/// Index into the bucket array (0 = underflow, last = overflow).
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 10f64.powi(MIN_DECADE) {
+        return 0; // underflow (also NaN and non-positive values)
+    }
+    if v > 10f64.powi(MAX_DECADE) {
+        return FINITE_BUCKETS + 1;
+    }
+    let pos = (v.log10() - MIN_DECADE as f64) * BUCKETS_PER_DECADE as f64;
+    // ceil-1 gives the first bucket whose upper edge is >= v; clamp guards
+    // float edge cases at the decade boundaries.
+    (pos.ceil() as usize).clamp(1, FINITE_BUCKETS)
+}
+
+impl Histogram {
+    /// Records one observation. Negative and NaN values land in the
+    /// underflow bucket and do not perturb min/max.
+    pub fn observe(&self, v: f64) {
+        let inner = &self.0;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            let nano = (v.abs() * 1e9).round() as u64;
+            let signed = if v < 0.0 { 0 } else { nano };
+            inner
+                .sum_bits_times_1e9
+                .fetch_add(signed, Ordering::Relaxed);
+            atomic_min_f64(&inner.min_bits, v);
+            atomic_max_f64(&inner.max_bits, v);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate sum of non-negative observations (1 ns resolution).
+    pub fn sum(&self) -> f64 {
+        self.0.sum_bits_times_1e9.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Smallest finite observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        let v = f64::from_bits(self.0.min_bits.load(Ordering::Relaxed));
+        v.is_finite().then_some(v)
+    }
+
+    /// Largest finite observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        let v = f64::from_bits(self.0.max_bits.load(Ordering::Relaxed));
+        v.is_finite().then_some(v)
+    }
+
+    /// Raw bucket counts: underflow, finite buckets, overflow.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Upper edges of the finite buckets, ascending.
+    pub fn bucket_upper_edges() -> Vec<f64> {
+        (0..FINITE_BUCKETS).map(finite_edge).collect()
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`): the upper edge of the
+    /// first bucket whose cumulative count reaches `q * count`, clamped
+    /// to the observed `[min, max]` range. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let counts = self.bucket_counts();
+        let mut cumulative = 0u64;
+        let mut raw = f64::INFINITY;
+        for (i, c) in counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                raw = if i == 0 {
+                    10f64.powi(MIN_DECADE)
+                } else if i <= FINITE_BUCKETS {
+                    finite_edge(i - 1)
+                } else {
+                    f64::INFINITY
+                };
+                break;
+            }
+        }
+        let lo = self.min().unwrap_or(raw);
+        let hi = self.max().unwrap_or(raw);
+        Some(raw.clamp(lo, hi))
+    }
+}
+
+fn atomic_min_f64(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while v < f64::from_bits(cur) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+fn atomic_max_f64(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while v > f64::from_bits(cur) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A point-in-time rendering of every metric in a registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → summary.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+/// Summary statistics for one histogram.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Handles returned by the accessor methods stay live after the registry
+/// is snapshot; re-requesting a name returns a clone of the same metric.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Returns (creating if needed) the counter called `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (creating if needed) the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (creating if needed) the histogram called `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Captures every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSummary {
+                            count: h.count(),
+                            sum: h.sum(),
+                            min: h.min().unwrap_or(0.0),
+                            max: h.max().unwrap_or(0.0),
+                            p50: h.quantile(0.50).unwrap_or(0.0),
+                            p95: h.quantile(0.95).unwrap_or(0.0),
+                            p99: h.quantile(0.99).unwrap_or(0.0),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let reg = MetricsRegistry::default();
+        let c = reg.counter("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn gauge_last_value_wins() {
+        let g = Gauge::default();
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_quantiles_bounded_by_observations() {
+        let h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(i as f64 / 100.0);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((0.01..=1.0).contains(&p50), "p50={p50}");
+        assert!(p99 >= p50 && p99 <= 1.0, "p99={p99}");
+        assert!((h.sum() - 50.5).abs() < 1e-6);
+        assert_eq!(h.min(), Some(0.01));
+        assert_eq!(h.max(), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_single_value_quantiles_collapse() {
+        let h = Histogram::default();
+        h.observe(0.125);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(0.125));
+        }
+    }
+
+    #[test]
+    fn histogram_handles_out_of_range() {
+        let h = Histogram::default();
+        h.observe(0.0);
+        h.observe(-3.0);
+        h.observe(1e12);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 4);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 3); // 0, -3, NaN underflow
+        assert_eq!(*counts.last().unwrap(), 1); // 1e12 overflow
+    }
+
+    #[test]
+    fn bucket_edges_ascend() {
+        let edges = Histogram::bucket_upper_edges();
+        assert_eq!(edges.len(), FINITE_BUCKETS);
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn snapshot_lists_all_metrics() {
+        let reg = MetricsRegistry::default();
+        reg.counter("a").inc();
+        reg.gauge("b").set(2.0);
+        reg.histogram("c").observe(0.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("a".to_string(), 1)]);
+        assert_eq!(snap.gauges, vec![("b".to_string(), 2.0)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+}

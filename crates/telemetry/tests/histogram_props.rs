@@ -1,0 +1,73 @@
+//! Property tests for the log-bucket histogram: bucket-edge monotonicity,
+//! count conservation, and percentile bounds.
+
+use nessa_telemetry::Histogram;
+use proptest::prelude::*;
+
+#[test]
+fn bucket_upper_edges_are_strictly_increasing() {
+    let edges = Histogram::bucket_upper_edges();
+    assert!(!edges.is_empty());
+    for pair in edges.windows(2) {
+        assert!(
+            pair[1] > pair[0],
+            "edges must be strictly increasing: {} !> {}",
+            pair[1],
+            pair[0]
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn bucket_counts_conserve_observations(xs in prop::collection::vec(1e-10f64..1e4, 1..64)) {
+        let h = Histogram::default();
+        for &x in &xs {
+            h.observe(x);
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        let total: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(total, xs.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_stay_within_observed_range(xs in prop::collection::vec(1e-9f64..1e3, 1..64)) {
+        let h = Histogram::default();
+        for &x in &xs {
+            h.observe(x);
+        }
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q).expect("non-empty histogram");
+            prop_assert!(v >= lo, "q{q}: {v} < min {lo}");
+            prop_assert!(v <= hi, "q{q}: {v} > max {hi}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(xs in prop::collection::vec(1e-9f64..1e3, 1..64)) {
+        let h = Histogram::default();
+        for &x in &xs {
+            h.observe(x);
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+    }
+
+    #[test]
+    fn min_max_bracket_every_observation(xs in prop::collection::vec(1e-10f64..1e4, 1..48)) {
+        let h = Histogram::default();
+        for &x in &xs {
+            h.observe(x);
+        }
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.min(), Some(lo));
+        prop_assert_eq!(h.max(), Some(hi));
+        prop_assert!(h.sum() >= 0.0);
+    }
+}

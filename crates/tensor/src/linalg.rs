@@ -53,7 +53,9 @@ pub fn cross_sq_dists(x: &Tensor, centers: &Tensor) -> Tensor {
     );
     let (n, k) = (x.dim(0), centers.dim(0));
     let dots = x.matmul_transb(centers);
-    let xs: Vec<f32> = (0..n).map(|i| x.row(i).iter().map(|v| v * v).sum()).collect();
+    let xs: Vec<f32> = (0..n)
+        .map(|i| x.row(i).iter().map(|v| v * v).sum())
+        .collect();
     let cs: Vec<f32> = (0..k)
         .map(|j| centers.row(j).iter().map(|v| v * v).sum())
         .collect();

@@ -2,13 +2,20 @@
 //!
 //! Every stochastic component of the reproduction draws from a [`Rng64`]
 //! created from an explicit `u64` seed, so whole experiments replay
-//! bit-identically. The type wraps [`rand::rngs::StdRng`] and adds the
-//! distributions the workspace needs (normal via Box–Muller, index sampling,
-//! shuffling) without pulling in `rand_distr`.
+//! bit-identically. The generator is a self-contained xoshiro256++
+//! (Blackman & Vigna) seeded through SplitMix64, with the distributions
+//! the workspace needs (normal via Box–Muller, index sampling, shuffling)
+//! implemented on top — no external crates, so the workspace builds and
+//! replays identically on air-gapped machines.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+/// SplitMix64 step: the standard seed-expansion generator (Steele et al.).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A deterministic random-number generator with the sampling helpers used by
 /// the data generators, initializers, and stochastic-greedy selection.
@@ -22,7 +29,8 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rng64 {
-    inner: StdRng,
+    /// xoshiro256++ state; never all-zero (SplitMix64 seeding guarantees it).
+    s: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     spare_normal: Option<f32>,
 }
@@ -30,16 +38,49 @@ pub struct Rng64 {
 impl Rng64 {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            s,
             spare_normal: None,
         }
+    }
+
+    /// One xoshiro256++ step.
+    fn step(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f32` in `[0, 1)` from the top 24 bits.
+    fn next_f32(&mut self) -> f32 {
+        (self.step() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.step() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derives an independent child generator; used to give each worker or
     /// partition its own stream while keeping the parent deterministic.
     pub fn split(&mut self) -> Rng64 {
-        Rng64::new(self.inner.random::<u64>())
+        Rng64::new(self.step())
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -52,7 +93,7 @@ impl Rng64 {
         if lo == hi {
             return lo;
         }
-        lo + (hi - lo) * self.inner.random::<f32>()
+        lo + (hi - lo) * self.next_f32()
     }
 
     /// Standard normal sample via the Box–Muller transform.
@@ -61,8 +102,8 @@ impl Rng64 {
             return z;
         }
         // Box–Muller needs u1 in (0, 1]; clamp away from 0 to avoid ln(0).
-        let u1 = self.inner.random::<f64>().max(1e-12);
-        let u2 = self.inner.random::<f64>();
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare_normal = Some((r * theta.sin()) as f32);
@@ -81,22 +122,27 @@ impl Rng64 {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index requires n > 0");
-        self.inner.random_range(0..n)
+        // Lemire's multiply-shift maps a uniform u64 onto [0, n) with
+        // bias below 2^-64 · n — immaterial at workspace pool sizes.
+        ((self.step() as u128 * n as u128) >> 64) as usize
     }
 
     /// Uniform `u64`.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random::<u64>()
+        self.step()
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     pub fn coin(&mut self, p: f64) -> bool {
-        self.inner.random::<f64>() < p.clamp(0.0, 1.0)
+        self.next_f64() < p.clamp(0.0, 1.0)
     }
 
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
-        xs.shuffle(&mut self.inner);
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
     }
 
     /// Samples `k` distinct indices from `[0, n)` without replacement.
@@ -110,7 +156,7 @@ impl Rng64 {
         assert!(k <= n, "cannot sample {k} distinct indices from {n}");
         let mut pool: Vec<usize> = (0..n).collect();
         for i in 0..k {
-            let j = i + self.inner.random_range(0..n - i);
+            let j = i + self.index(n - i);
             pool.swap(i, j);
         }
         pool.truncate(k);

@@ -23,7 +23,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a dimension list.
     pub fn new(dims: &[usize]) -> Self {
-        Self { dims: dims.to_vec() }
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Number of dimensions (rank).
@@ -149,7 +151,10 @@ impl fmt::Display for ShapeError {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }
             ShapeError::BadReshape { from, to } => {
-                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+                write!(
+                    f,
+                    "cannot reshape {from:?} into {to:?}: element counts differ"
+                )
             }
         }
     }

@@ -283,7 +283,10 @@ impl Tensor {
         assert_eq!(other.ndim(), 2, "matmul_transa rhs must be 2-D");
         let (k, m) = (self.dim(0), self.dim(1));
         let (k2, n) = (other.dim(0), other.dim(1));
-        assert_eq!(k, k2, "matmul_transa leading dimensions differ: {k} vs {k2}");
+        assert_eq!(
+            k, k2,
+            "matmul_transa leading dimensions differ: {k} vs {k2}"
+        );
         let mut out = vec![0.0f32; m * n];
         for p in 0..k {
             let a_row = &self.data[p * m..(p + 1) * m];
@@ -415,7 +418,11 @@ impl Tensor {
     ///
     /// Panics if element counts differ.
     pub fn dot(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.numel(), other.numel(), "dot requires equal element counts");
+        assert_eq!(
+            self.numel(),
+            other.numel(),
+            "dot requires equal element counts"
+        );
         self.data
             .iter()
             .zip(other.data.iter())
@@ -458,7 +465,8 @@ impl Add<&Tensor> for &Tensor {
     type Output = Tensor;
 
     fn add(self, rhs: &Tensor) -> Tensor {
-        self.try_zip(rhs, "add", |a, b| a + b).expect("add shape mismatch")
+        self.try_zip(rhs, "add", |a, b| a + b)
+            .expect("add shape mismatch")
     }
 }
 
@@ -466,7 +474,8 @@ impl Sub<&Tensor> for &Tensor {
     type Output = Tensor;
 
     fn sub(self, rhs: &Tensor) -> Tensor {
-        self.try_zip(rhs, "sub", |a, b| a - b).expect("sub shape mismatch")
+        self.try_zip(rhs, "sub", |a, b| a - b)
+            .expect("sub shape mismatch")
     }
 }
 
@@ -474,7 +483,8 @@ impl Mul<&Tensor> for &Tensor {
     type Output = Tensor;
 
     fn mul(self, rhs: &Tensor) -> Tensor {
-        self.try_zip(rhs, "mul", |a, b| a * b).expect("mul shape mismatch")
+        self.try_zip(rhs, "mul", |a, b| a * b)
+            .expect("mul shape mismatch")
     }
 }
 

@@ -68,5 +68,8 @@ fn main() {
     }
 
     println!();
-    println!("{}", ResourceReport::for_kernel(&KernelResourceConfig::cifar10()));
+    println!(
+        "{}",
+        ResourceReport::for_kernel(&KernelResourceConfig::cifar10())
+    );
 }

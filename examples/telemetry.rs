@@ -1,0 +1,51 @@
+//! Telemetry: profile a NeSSA run with the unified observability layer —
+//! hierarchical spans over the epoch loop, per-batch/per-selection
+//! metrics, and the SmartSSD phase trace bridged into one stream.
+//!
+//! Run with `cargo run --release --example telemetry`. Set
+//! `NESSA_TELEMETRY=jsonl` (or `jsonl:<path>`) to stream the same events
+//! to a JSONL artifact instead of collecting in memory.
+
+use nessa::core::{NessaConfig, NessaPipeline};
+use nessa::data::SynthConfig;
+use nessa::nn::models::mlp;
+use nessa::telemetry::{TelemetryMode, TelemetrySettings};
+use nessa::tensor::rng::Rng64;
+
+fn main() {
+    // Honor NESSA_TELEMETRY when set; default to in-memory collection so
+    // the example always has something to render.
+    let mut settings = TelemetrySettings::from_env();
+    if settings.mode == TelemetryMode::Off {
+        settings = TelemetrySettings::memory();
+    }
+
+    let synth = SynthConfig {
+        train: 500,
+        test: 150,
+        dim: 12,
+        classes: 4,
+        cluster_std: 0.7,
+        class_sep: 3.0,
+        ..SynthConfig::default()
+    };
+    let (train, test) = synth.generate();
+    let cfg = NessaConfig::new(0.3, 5)
+        .with_batch_size(32)
+        .with_seed(7)
+        .with_telemetry(settings);
+    let mut rng = Rng64::new(7);
+    let target = mlp(&[train.dim(), 32, train.classes()], &mut rng);
+    let selector = mlp(&[train.dim(), 32, train.classes()], &mut rng);
+    let mut pipeline = NessaPipeline::new(cfg, target, selector, train, test);
+    let report = pipeline.run();
+
+    println!("{report}");
+    println!();
+    // Every run collects the same stream regardless of sink: a span tree
+    // (epoch → scan/select/ship/train/feedback) plus metrics.
+    print!("{}", pipeline.telemetry().render_timeline());
+    if let Some(path) = pipeline.telemetry().jsonl_path() {
+        println!("JSONL artifact written to {}", path.display());
+    }
+}

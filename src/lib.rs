@@ -13,7 +13,8 @@
 //! * [`select`] — facility-location (CRAIG), K-Centers, k-medoids, random,
 //! * [`quant`] — int8 quantization for the FPGA feedback loop,
 //! * [`smartssd`] — the discrete-event SmartSSD simulator,
-//! * [`core`] — the assembled NeSSA pipeline, baselines, and timing.
+//! * [`core`] — the assembled NeSSA pipeline, baselines, and timing,
+//! * [`telemetry`] — spans, metrics, and timeline/JSONL run profiling.
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub use nessa_nn as nn;
 pub use nessa_quant as quant;
 pub use nessa_select as select;
 pub use nessa_smartssd as smartssd;
+pub use nessa_telemetry as telemetry;
 pub use nessa_tensor as tensor;
 
 // The types most users touch first, re-exported at the crate root.

@@ -42,7 +42,10 @@ fn cnn_target_trains_through_the_full_pipeline() {
     assert_eq!(report.epochs.len(), 6);
     // Traffic accounting works for the conv path too.
     assert!(report.traffic.ssd_to_fpga > 0);
-    assert!(report.traffic.host_to_fpga > 0, "quantized CNN feedback must flow");
+    assert!(
+        report.traffic.host_to_fpga > 0,
+        "quantized CNN feedback must flow"
+    );
     // The tiny convnet must actually learn (3-way chance is 33 %).
     assert!(
         report.best_accuracy() > 0.6,

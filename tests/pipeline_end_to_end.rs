@@ -119,7 +119,15 @@ fn subset_biasing_and_sizing_compose() {
     cfg.biasing_drop_every = 3;
     cfg.biasing_drop_fraction = 0.15;
     cfg.sizing_threshold = 0.2;
-    let report = run_policy(&Policy::Nessa(cfg), &train, &test, EPOCHS, BATCH, 8, &builder);
+    let report = run_policy(
+        &Policy::Nessa(cfg),
+        &train,
+        &test,
+        EPOCHS,
+        BATCH,
+        8,
+        &builder,
+    );
     let first = report.epochs.first().unwrap();
     let last = report.epochs.last().unwrap();
     assert!(last.pool_size < first.pool_size, "pool never pruned");
@@ -157,7 +165,15 @@ fn parallel_selection_matches_sequential() {
 fn full_run_is_deterministic() {
     let (train, test) = dataset();
     let cfg = NessaConfig::new(0.3, 5);
-    let a = run_policy(&Policy::Nessa(cfg.clone()), &train, &test, 5, BATCH, 9, &builder);
+    let a = run_policy(
+        &Policy::Nessa(cfg.clone()),
+        &train,
+        &test,
+        5,
+        BATCH,
+        9,
+        &builder,
+    );
     let b = run_policy(&Policy::Nessa(cfg), &train, &test, 5, BATCH, 9, &builder);
     assert_eq!(a.accuracy_curve(), b.accuracy_curve());
     assert_eq!(a.traffic, b.traffic);

@@ -42,7 +42,11 @@ fn pipeline_survives_label_noise() {
         &builder,
     );
     // Noise hurts but must not collapse training (test labels are clean).
-    assert!(clean.best_accuracy() > 0.8, "clean {}", clean.best_accuracy());
+    assert!(
+        clean.best_accuracy() > 0.8,
+        "clean {}",
+        clean.best_accuracy()
+    );
     assert!(
         dirty.best_accuracy() > clean.best_accuracy() - 0.25,
         "noisy run collapsed: {} vs {}",
