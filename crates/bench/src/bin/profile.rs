@@ -2,10 +2,12 @@
 //! enabled, prints the span timeline, and (in JSONL mode) cross-checks
 //! the emitted artifact against the run report.
 //!
-//! The sink is picked by `NESSA_TELEMETRY`
-//! (`memory|timeline|jsonl|jsonl:<path>`); unset defaults to `jsonl` so
-//! the binary always produces an artifact. Run with
-//! `NESSA_TELEMETRY=jsonl cargo run --release -p nessa-bench --bin profile`.
+//! The output path is picked in precedence order: `--out <path>` on the
+//! command line, then the `NESSA_TELEMETRY` environment variable
+//! (`memory|timeline|jsonl|jsonl:<path>`), then the default
+//! `target/nessa-profile.jsonl` — so the binary always produces an
+//! artifact without littering the working directory. Run with
+//! `cargo run --release -p nessa-bench --bin profile -- --out run.jsonl`.
 
 use nessa_bench::{model_builder, rule, BATCH, SEED};
 use nessa_core::{NessaConfig, NessaPipeline, RunReport};
@@ -20,9 +22,23 @@ const PHASES: [&str; 5] = ["scan", "select", "ship", "train", "feedback"];
 const EPOCHS: usize = 6;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|pos| args.get(pos + 1).expect("--out needs a path").clone());
     let mut settings = TelemetrySettings::from_env();
-    if settings.mode == TelemetryMode::Off {
-        settings = TelemetrySettings::jsonl("nessa-profile.jsonl");
+    if let Some(path) = out {
+        settings = TelemetrySettings::jsonl(path);
+    } else if settings.mode == TelemetryMode::Off {
+        settings = TelemetrySettings::jsonl("target/nessa-profile.jsonl");
+    }
+    if settings.mode == TelemetryMode::Jsonl {
+        if let Some(dir) = settings.resolved_jsonl_path().parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("output directory creatable");
+            }
+        }
     }
     let synth = SynthConfig {
         train: 600,

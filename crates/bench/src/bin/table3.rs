@@ -5,10 +5,13 @@
 //! partitioning), SB, PA, SB+PA, CRAIG, K-Centers, and Goal (full data).
 //!
 //! Regenerate with `cargo run --release -p nessa-bench --bin table3`.
+//! Pass `--json` to emit one JSON object per subset row instead of the
+//! human-readable table.
 
 use nessa_bench::{rule, run_scaled, scaled_dataset, EPOCHS, SEED};
 use nessa_core::{NessaConfig, Policy};
 use nessa_data::DatasetSpec;
+use nessa_telemetry::json::JsonObject;
 
 fn nessa_policy(fraction: f32, sb: bool, pa: bool) -> Policy {
     let cfg = NessaConfig::new(fraction, EPOCHS)
@@ -18,20 +21,25 @@ fn nessa_policy(fraction: f32, sb: bool, pa: bool) -> Policy {
 }
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let spec = DatasetSpec::by_name("CIFAR-10").expect("catalog entry");
     let (train, test) = scaled_dataset(&spec, SEED);
-    println!(
-        "Table 3: optimization ablation on {} stand-in ({} train, {EPOCHS} epochs)",
-        spec.name,
-        train.len()
-    );
+    if !json {
+        println!(
+            "Table 3: optimization ablation on {} stand-in ({} train, {EPOCHS} epochs)",
+            spec.name,
+            train.len()
+        );
+    }
     let goal = run_scaled(&Policy::Goal, &train, &test, EPOCHS, SEED);
-    rule(88);
-    println!(
-        "{:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}",
-        "Subset%", "Vanilla", "SB", "PA", "SB+PA", "CRAIG", "K-Centers", "Goal"
-    );
-    rule(88);
+    if !json {
+        rule(88);
+        println!(
+            "{:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}",
+            "Subset%", "Vanilla", "SB", "PA", "SB+PA", "CRAIG", "K-Centers", "Goal"
+        );
+        rule(88);
+    }
     for fraction in [0.10f32, 0.30, 0.50] {
         let row: Vec<f32> = [
             nessa_policy(fraction, false, false),
@@ -44,20 +52,39 @@ fn main() {
         .iter()
         .map(|p| 100.0 * run_scaled(p, &train, &test, EPOCHS, SEED).best_accuracy())
         .collect();
-        println!(
-            "{:>8.0} {:>10.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>10.2} {:>8.2}",
-            100.0 * fraction,
-            row[0],
-            row[1],
-            row[2],
-            row[3],
-            row[4],
-            row[5],
-            100.0 * goal.best_accuracy()
-        );
+        if json {
+            println!(
+                "{}",
+                JsonObject::new()
+                    .str_field("dataset", spec.name)
+                    .f64_field("subset_pct", (100.0 * fraction) as f64)
+                    .f64_field("vanilla_acc", row[0] as f64)
+                    .f64_field("sb_acc", row[1] as f64)
+                    .f64_field("pa_acc", row[2] as f64)
+                    .f64_field("sb_pa_acc", row[3] as f64)
+                    .f64_field("craig_acc", row[4] as f64)
+                    .f64_field("kcenters_acc", row[5] as f64)
+                    .f64_field("goal_acc", (100.0 * goal.best_accuracy()) as f64)
+                    .finish()
+            );
+        } else {
+            println!(
+                "{:>8.0} {:>10.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>10.2} {:>8.2}",
+                100.0 * fraction,
+                row[0],
+                row[1],
+                row[2],
+                row[3],
+                row[4],
+                row[5],
+                100.0 * goal.best_accuracy()
+            );
+        }
     }
-    rule(88);
-    println!("Paper row at 10%:  82.76  87.61  83.56  87.75  87.07  65.72  92.44");
-    println!("Paper row at 30%:  89.51  90.42  90.68  90.49  89.12  88.49  92.44");
-    println!("Paper row at 50%:  90.59  91.89  91.81  91.92  90.32  90.14  92.44");
+    if !json {
+        rule(88);
+        println!("Paper row at 10%:  82.76  87.61  83.56  87.75  87.07  65.72  92.44");
+        println!("Paper row at 30%:  89.51  90.42  90.68  90.49  89.12  88.49  92.44");
+        println!("Paper row at 50%:  90.59  91.89  91.81  91.92  90.32  90.14  92.44");
+    }
 }

@@ -1,0 +1,211 @@
+//! Offline trace analyzer CLI over `nessa-trace`.
+//!
+//! ```text
+//! trace report  <run.jsonl>
+//! trace export  <run.jsonl> [--out <path>]
+//! trace summary <run.jsonl> [--out <path>]
+//! trace diff    <baseline> <current> [--max-regress <pct>] [--wall]
+//!               [--bench-out <path>]
+//! ```
+//!
+//! * **report** prints per-epoch phase breakdowns, critical paths, the
+//!   selection-vs-training overlap ratio, and histogram quantiles.
+//! * **export** writes Chrome trace-event JSON (open in `chrome://tracing`
+//!   or <https://ui.perfetto.dev>). Default output: the input path with a
+//!   `.trace.json` extension.
+//! * **summary** writes the condensed run summary JSON — the format
+//!   checked in as a regression baseline.
+//! * **diff** compares two runs (each argument may be a telemetry JSONL
+//!   stream or an already-condensed summary JSON; the format is
+//!   auto-detected) and **exits nonzero** when a gated metric regresses
+//!   more than the tolerance (default 10 %). Gates cover simulated-clock
+//!   metrics only unless `--wall` is given. `--bench-out` additionally
+//!   writes the `BENCH_pipeline.json` artifact.
+
+use nessa_telemetry::JsonValue;
+use nessa_trace::{
+    bench_artifact, chrome_trace, diff_runs, DiffGates, RunSummary, RunTrace, TraceReport,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace report  <run.jsonl>\n       \
+                trace export  <run.jsonl> [--out <path>]\n       \
+                trace summary <run.jsonl> [--out <path>]\n       \
+                trace diff    <baseline> <current> [--max-regress <pct>] [--wall] [--bench-out <path>]"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace: {msg}");
+    ExitCode::from(2)
+}
+
+/// Loads either a raw telemetry JSONL stream or a pre-condensed
+/// `nessa-run-summary` JSON file, auto-detected by content.
+fn load_summary(path: &Path) -> Result<RunSummary, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if let Ok(v) = JsonValue::parse(&text) {
+        if let Some(summary) = RunSummary::from_json(&v) {
+            return Ok(summary);
+        }
+    }
+    let trace = RunTrace::from_str(&text).map_err(|e| {
+        format!(
+            "{}: not a run summary and not a telemetry stream: {e}",
+            path.display()
+        )
+    })?;
+    Ok(RunSummary::from_trace(&trace))
+}
+
+fn write_out(path: &Path, contents: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Parses `--out <path>` style flags out of the tail arguments; returns
+/// an error message on anything unrecognized.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        return Ok(Some(value));
+    }
+    Ok(None)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "report" => {
+            let [input] = args.as_slice() else {
+                return usage();
+            };
+            let trace = match RunTrace::from_path(input) {
+                Ok(t) => t,
+                Err(e) => return fail(&e.to_string()),
+            };
+            print!("{}", TraceReport::from_trace(&trace).render());
+            ExitCode::SUCCESS
+        }
+        "export" => {
+            let out = match take_flag(&mut args, "--out") {
+                Ok(o) => o,
+                Err(e) => return fail(&e),
+            };
+            let [input] = args.as_slice() else {
+                return usage();
+            };
+            let trace = match RunTrace::from_path(input) {
+                Ok(t) => t,
+                Err(e) => return fail(&e.to_string()),
+            };
+            let out = out
+                .map(PathBuf::from)
+                .unwrap_or_else(|| Path::new(input).with_extension("trace.json"));
+            if let Err(e) = write_out(&out, &chrome_trace(&trace)) {
+                return fail(&e);
+            }
+            println!(
+                "wrote {} ({} host spans, {} device events) — load in chrome://tracing or ui.perfetto.dev",
+                out.display(),
+                trace.tree.len(),
+                trace.device_events.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "summary" => {
+            let out = match take_flag(&mut args, "--out") {
+                Ok(o) => o,
+                Err(e) => return fail(&e),
+            };
+            let [input] = args.as_slice() else {
+                return usage();
+            };
+            let summary = match load_summary(Path::new(input)) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            let mut json = summary.to_json();
+            json.push('\n');
+            match out {
+                Some(path) => {
+                    let path = PathBuf::from(path);
+                    if let Err(e) = write_out(&path, &json) {
+                        return fail(&e);
+                    }
+                    println!("wrote {}", path.display());
+                }
+                None => print!("{json}"),
+            }
+            ExitCode::SUCCESS
+        }
+        "diff" => {
+            let max_regress = match take_flag(&mut args, "--max-regress") {
+                Ok(o) => o,
+                Err(e) => return fail(&e),
+            };
+            let bench_out = match take_flag(&mut args, "--bench-out") {
+                Ok(o) => o,
+                Err(e) => return fail(&e),
+            };
+            let gate_wall = if let Some(pos) = args.iter().position(|a| a == "--wall") {
+                args.remove(pos);
+                true
+            } else {
+                false
+            };
+            let [base_path, cur_path] = args.as_slice() else {
+                return usage();
+            };
+            let mut gates = DiffGates {
+                gate_wall,
+                ..DiffGates::default()
+            };
+            if let Some(pct) = max_regress {
+                match pct.parse::<f64>() {
+                    Ok(p) if p >= 0.0 => gates.max_regress_pct = p,
+                    _ => return fail(&format!("--max-regress expects a percentage, got {pct}")),
+                }
+            }
+            let base = match load_summary(Path::new(base_path)) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            let current = match load_summary(Path::new(cur_path)) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            let report = diff_runs(&base, &current, gates);
+            print!("{}", report.render());
+            if let Some(path) = bench_out {
+                let path = PathBuf::from(path);
+                if let Err(e) = write_out(&path, &bench_artifact(&base, &current, &report)) {
+                    return fail(&e);
+                }
+                println!("wrote {}", path.display());
+            }
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

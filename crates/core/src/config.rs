@@ -72,6 +72,10 @@ pub struct NessaConfig {
     /// to off; see [`TelemetrySettings::from_env`] for the
     /// `NESSA_TELEMETRY` environment control.
     pub telemetry: TelemetrySettings,
+    /// Stall budget for the live health monitor: seconds without any span
+    /// closing before the pipeline counts as wedged (see
+    /// [`crate::health::HealthMonitor`]).
+    pub stall_budget_secs: f64,
 }
 
 impl NessaConfig {
@@ -104,6 +108,7 @@ impl NessaConfig {
             threads: 1,
             seed: 42,
             telemetry: TelemetrySettings::off(),
+            stall_budget_secs: 30.0,
         }
     }
 
@@ -166,6 +171,17 @@ impl NessaConfig {
         self
     }
 
+    /// Sets the health monitor's stall budget in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is not positive.
+    pub fn with_stall_budget(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0, "stall budget must be positive, got {secs}");
+        self.stall_budget_secs = secs;
+        self
+    }
+
     /// The §3.2.3 partition chunk size: selecting `m` (one mini-batch) per
     /// chunk at the current fraction needs chunks of `m / fraction`.
     pub fn partition_chunk(&self, fraction: f32) -> usize {
@@ -195,12 +211,20 @@ mod tests {
             .with_dynamic_sizing(true)
             .with_batch_size(32)
             .with_threads(0)
+            .with_stall_budget(5.0)
             .with_seed(9);
         assert!(!cfg.feedback && !cfg.subset_biasing && !cfg.partitioning);
         assert!(cfg.dynamic_sizing);
         assert_eq!(cfg.batch_size, 32);
         assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.stall_budget_secs, 5.0);
         assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall budget")]
+    fn rejects_nonpositive_stall_budget() {
+        let _ = NessaConfig::new(0.5, 10).with_stall_budget(0.0);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Live pipeline health: heartbeat/stall detection and progress gauges.
+//!
+//! The telemetry stream already records *what happened*; this module
+//! watches it *while it happens*. [`HealthMonitor`] rides on the span
+//! heartbeat ([`Telemetry::idle_secs`] — seconds since the last span
+//! closed) to flag a wedged pipeline, and publishes per-epoch throughput
+//! and an ETA through the ordinary metrics registry, so every sink
+//! (timeline, JSONL, in-memory snapshot) sees them with no extra plumbing:
+//!
+//! * `health.epoch_secs` — wall seconds of the most recent epoch,
+//! * `health.samples_per_sec` — training throughput of that epoch,
+//! * `health.epochs_done` — completed epochs,
+//! * `health.eta_secs` — mean epoch time × remaining epochs,
+//! * `health.stalls` — times the heartbeat exceeded the stall budget.
+//!
+//! On a disabled telemetry handle everything degrades to a no-op (the
+//! gauges feed unregistered metrics and [`HealthMonitor::check_stall`]
+//! reports a healthy pipeline).
+
+use nessa_telemetry::{Counter, Gauge, Telemetry};
+use std::time::Instant;
+
+/// What the stall check concluded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HealthStatus {
+    /// A span closed within the stall budget (or telemetry is disabled,
+    /// in which case there is no heartbeat to judge).
+    Healthy,
+    /// No span has closed for longer than the budget.
+    Stalled {
+        /// Seconds since the last span closed.
+        idle_secs: f64,
+        /// The configured budget that was exceeded.
+        budget_secs: f64,
+    },
+}
+
+impl HealthStatus {
+    /// Whether the pipeline is past its stall budget.
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, HealthStatus::Stalled { .. })
+    }
+}
+
+/// Epoch-granular progress and heartbeat watcher for one run.
+pub struct HealthMonitor {
+    telemetry: Telemetry,
+    stall_budget_secs: f64,
+    total_epochs: usize,
+    epochs_done: usize,
+    started: Instant,
+    last_epoch_end: Instant,
+    epoch_secs: Gauge,
+    samples_per_sec: Gauge,
+    epochs_done_gauge: Gauge,
+    eta_secs: Gauge,
+    stalls: Counter,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor for a run of `total_epochs` epochs with the given
+    /// stall budget (seconds without a span close before the pipeline is
+    /// considered wedged).
+    pub fn new(telemetry: &Telemetry, total_epochs: usize, stall_budget_secs: f64) -> Self {
+        let now = Instant::now();
+        HealthMonitor {
+            telemetry: telemetry.clone(),
+            stall_budget_secs,
+            total_epochs,
+            epochs_done: 0,
+            started: now,
+            last_epoch_end: now,
+            epoch_secs: telemetry.gauge("health.epoch_secs"),
+            samples_per_sec: telemetry.gauge("health.samples_per_sec"),
+            epochs_done_gauge: telemetry.gauge("health.epochs_done"),
+            eta_secs: telemetry.gauge("health.eta_secs"),
+            stalls: telemetry.counter("health.stalls"),
+        }
+    }
+
+    /// Records one completed epoch that trained on `samples` samples and
+    /// refreshes every gauge. Returns the epoch's wall seconds.
+    pub fn epoch_completed(&mut self, samples: usize) -> f64 {
+        let now = Instant::now();
+        let epoch_secs = now.duration_since(self.last_epoch_end).as_secs_f64();
+        self.last_epoch_end = now;
+        self.epochs_done += 1;
+        self.epoch_secs.set(epoch_secs);
+        if epoch_secs > 0.0 {
+            self.samples_per_sec.set(samples as f64 / epoch_secs);
+        }
+        self.epochs_done_gauge.set(self.epochs_done as f64);
+        self.eta_secs.set(self.eta_secs_now());
+        epoch_secs
+    }
+
+    /// Number of epochs recorded so far.
+    pub fn epochs_done(&self) -> usize {
+        self.epochs_done
+    }
+
+    /// Remaining-time estimate: mean epoch wall time so far times the
+    /// epochs still to run. `None` before the first epoch completes.
+    pub fn eta_secs(&self) -> Option<f64> {
+        (self.epochs_done > 0).then(|| self.eta_secs_now())
+    }
+
+    fn eta_secs_now(&self) -> f64 {
+        if self.epochs_done == 0 {
+            return 0.0;
+        }
+        let mean = self.started.elapsed().as_secs_f64() / self.epochs_done as f64;
+        mean * self.total_epochs.saturating_sub(self.epochs_done) as f64
+    }
+
+    /// Judges the heartbeat: has any span closed within the stall budget?
+    /// Increments the `health.stalls` counter on each stalled verdict.
+    /// Meant to be polled from outside the hot loop (another thread, or
+    /// between epochs for single-threaded runs).
+    pub fn check_stall(&self) -> HealthStatus {
+        match self.telemetry.idle_secs() {
+            Some(idle) if idle > self.stall_budget_secs => {
+                self.stalls.inc();
+                HealthStatus::Stalled {
+                    idle_secs: idle,
+                    budget_secs: self.stall_budget_secs,
+                }
+            }
+            _ => HealthStatus::Healthy,
+        }
+    }
+
+    /// The configured stall budget in seconds.
+    pub fn stall_budget_secs(&self) -> f64 {
+        self.stall_budget_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nessa_telemetry::TelemetrySettings;
+
+    #[test]
+    fn gauges_track_epoch_progress() {
+        let t = Telemetry::new(&TelemetrySettings::memory());
+        let mut m = HealthMonitor::new(&t, 4, 30.0);
+        assert_eq!(m.epochs_done(), 0);
+        assert!(m.eta_secs().is_none());
+        let secs = m.epoch_completed(300);
+        assert!(secs >= 0.0);
+        m.epoch_completed(300);
+        assert_eq!(m.epochs_done(), 2);
+        assert!(m.eta_secs().unwrap() >= 0.0);
+        let snap = t.metrics_snapshot();
+        let gauges: std::collections::BTreeMap<_, _> = snap.gauges.into_iter().collect();
+        assert_eq!(gauges["health.epochs_done"], 2.0);
+        assert!(gauges.contains_key("health.epoch_secs"));
+        assert!(gauges.contains_key("health.samples_per_sec"));
+        assert!(gauges.contains_key("health.eta_secs"));
+    }
+
+    #[test]
+    fn stall_detection_follows_heartbeat() {
+        let t = Telemetry::new(&TelemetrySettings::memory());
+        let m = HealthMonitor::new(&t, 1, 0.0);
+        // Zero budget: any idle time at all counts as a stall, and no span
+        // has closed yet.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let status = m.check_stall();
+        assert!(status.is_stalled());
+        if let HealthStatus::Stalled {
+            idle_secs,
+            budget_secs,
+        } = status
+        {
+            assert!(idle_secs > 0.0);
+            assert_eq!(budget_secs, 0.0);
+        }
+        let snap = t.metrics_snapshot();
+        let counters: std::collections::BTreeMap<_, _> = snap.counters.into_iter().collect();
+        assert_eq!(counters["health.stalls"], 1);
+        // A generous budget with a fresh heartbeat reports healthy.
+        let m2 = HealthMonitor::new(&t, 1, 3600.0);
+        t.span("epoch").finish();
+        assert_eq!(m2.check_stall(), HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn disabled_telemetry_is_always_healthy() {
+        let t = Telemetry::disabled();
+        let mut m = HealthMonitor::new(&t, 2, 0.0);
+        m.epoch_completed(10);
+        assert_eq!(m.check_stall(), HealthStatus::Healthy);
+        assert_eq!(m.epochs_done(), 1);
+    }
+}

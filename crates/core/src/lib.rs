@@ -28,6 +28,7 @@
 
 pub mod biasing;
 pub mod config;
+pub mod health;
 pub mod pipeline;
 pub mod policy;
 pub mod proxy;
@@ -37,6 +38,7 @@ pub mod timing;
 pub mod trainer;
 
 pub use config::NessaConfig;
+pub use health::{HealthMonitor, HealthStatus};
 pub use pipeline::NessaPipeline;
 pub use policy::{run_policy, Policy};
 pub use report::{EpochRecord, RunReport};

@@ -2,6 +2,7 @@
 
 use crate::biasing::LossTracker;
 use crate::config::NessaConfig;
+use crate::health::HealthMonitor;
 use crate::proxy::gradient_proxies;
 use crate::report::{EpochRecord, RunReport};
 use crate::sizing::SubsetSizer;
@@ -118,6 +119,7 @@ impl NessaPipeline {
         };
         let select_metrics = SelectMetrics::from_telemetry(&self.telemetry);
         let train_metrics = TrainMetrics::from_telemetry(&self.telemetry);
+        let mut health = HealthMonitor::new(&self.telemetry, cfg.epochs, cfg.stall_budget_secs);
         let mut fraction = cfg.subset_fraction;
         for epoch in 0..cfg.epochs {
             let lr = schedule.lr_at(epoch);
@@ -266,6 +268,11 @@ impl NessaPipeline {
             epoch_span.set_attr("train_loss", outcome.mean_loss);
             epoch_span.set_attr("test_acc", test_acc);
             epoch_span.finish();
+            // Heartbeat + progress gauges: the epoch span just closed, so a
+            // healthy loop always passes the stall check here; the gauges
+            // give any observer (timeline, JSONL tail) throughput and ETA.
+            health.epoch_completed(selection.len());
+            health.check_stall();
             report.epochs.push(EpochRecord {
                 epoch,
                 lr,
@@ -414,6 +421,28 @@ mod tests {
         let first = report.epochs.first().unwrap().subset_size;
         let last = report.epochs.last().unwrap().subset_size;
         assert!(last < first, "{last} !< {first}");
+    }
+
+    #[test]
+    fn health_gauges_published_during_run() {
+        use nessa_telemetry::TelemetrySettings;
+        let cfg = NessaConfig::new(0.3, 3)
+            .with_batch_size(32)
+            .with_telemetry(TelemetrySettings::memory())
+            .with_seed(4);
+        let mut p = small_setup(&cfg);
+        p.run();
+        let snap = p.telemetry().metrics_snapshot();
+        let gauges: std::collections::BTreeMap<_, _> = snap.gauges.into_iter().collect();
+        assert_eq!(gauges["health.epochs_done"], 3.0);
+        assert!(gauges["health.epoch_secs"] > 0.0);
+        assert!(gauges["health.samples_per_sec"] > 0.0);
+        // The run is over: nothing remains, so the ETA gauge reads zero.
+        assert_eq!(gauges["health.eta_secs"], 0.0);
+        // The loop closes a span every epoch, so the default 30 s budget
+        // never trips.
+        let counters: std::collections::BTreeMap<_, _> = snap.counters.into_iter().collect();
+        assert_eq!(counters["health.stalls"], 0);
     }
 
     #[test]

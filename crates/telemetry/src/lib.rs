@@ -23,12 +23,16 @@
 
 pub mod json;
 pub mod metrics;
+pub mod parse;
 pub mod sink;
 pub mod span;
+pub mod tree;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use parse::{parse_line, parse_stream, JsonValue, ParseError, StreamError, TelemetryEvent};
 pub use sink::{extract_num_field, extract_str_field, render_timeline};
 pub use span::{AttrValue, SpanRecord};
+pub use tree::SpanTree;
 
 use std::fs;
 use std::io::{BufWriter, Write as _};
@@ -142,6 +146,7 @@ pub struct DeviceEvent {
 
 struct Inner {
     mode: TelemetryMode,
+    created: Instant,
     spans: Mutex<Vec<SpanRecord>>,
     device_events: Mutex<Vec<DeviceEvent>>,
     metrics: MetricsRegistry,
@@ -149,6 +154,8 @@ struct Inner {
     open_stack: Mutex<Vec<u64>>,
     jsonl: Mutex<Option<BufWriter<fs::File>>>,
     jsonl_path: Option<PathBuf>,
+    // Heartbeat for the live health monitor: when the last span closed.
+    last_close: Mutex<Option<Instant>>,
 }
 
 /// A cloneable handle to one run's telemetry stream.
@@ -208,6 +215,7 @@ impl Telemetry {
         Telemetry {
             inner: Some(Arc::new(Inner {
                 mode,
+                created: Instant::now(),
                 spans: Mutex::new(Vec::new()),
                 device_events: Mutex::new(Vec::new()),
                 metrics: MetricsRegistry::default(),
@@ -215,6 +223,7 @@ impl Telemetry {
                 open_stack: Mutex::new(Vec::new()),
                 jsonl: Mutex::new(jsonl),
                 jsonl_path,
+                last_close: Mutex::new(None),
             })),
         }
     }
@@ -268,6 +277,7 @@ impl Telemetry {
                 parent,
                 name: name.to_string(),
                 attrs: Vec::new(),
+                start_secs: inner.created.elapsed().as_secs_f64(),
                 wall_secs: 0.0,
                 sim_secs: 0.0,
             }),
@@ -312,6 +322,28 @@ impl Telemetry {
             }
         }
         inner.device_events.lock().unwrap().push(event);
+    }
+
+    /// Seconds since the most recent span closed — the health monitor's
+    /// heartbeat signal ("no span closed within the stall budget" means
+    /// the pipeline is wedged). Counts from stream creation until the
+    /// first span closes; `None` on a disabled handle.
+    pub fn idle_secs(&self) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        let last = *inner.last_close.lock().unwrap();
+        Some(match last {
+            Some(t) => t.elapsed().as_secs_f64(),
+            None => inner.created.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Seconds since the stream was created (host wall clock); `None` on
+    /// a disabled handle. Span `start_secs` offsets count from the same
+    /// origin.
+    pub fn elapsed_secs(&self) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .map(|i| i.created.elapsed().as_secs_f64())
     }
 
     /// All completed spans so far, in completion order.
@@ -423,6 +455,7 @@ impl Drop for SpanGuard {
             }
         }
         inner.spans.lock().unwrap().push(rec);
+        *inner.last_close.lock().unwrap() = Some(Instant::now());
     }
 }
 
@@ -551,6 +584,32 @@ mod tests {
             .unwrap();
         assert_eq!(extract_num_field(span_line, "sim_s"), Some(0.25));
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn span_starts_are_monotonic_from_stream_origin() {
+        let t = Telemetry::new(&TelemetrySettings::memory());
+        t.span("first").finish();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.span("second").finish();
+        let spans = t.spans();
+        let first = spans.iter().find(|s| s.name == "first").unwrap();
+        let second = spans.iter().find(|s| s.name == "second").unwrap();
+        assert!(first.start_secs >= 0.0);
+        assert!(second.start_secs > first.start_secs);
+        assert!(t.elapsed_secs().unwrap() >= second.start_secs);
+    }
+
+    #[test]
+    fn idle_secs_resets_on_span_close() {
+        let t = Telemetry::new(&TelemetrySettings::memory());
+        assert!(t.idle_secs().unwrap() >= 0.0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let before = t.idle_secs().unwrap();
+        t.span("beat").finish();
+        let after = t.idle_secs().unwrap();
+        assert!(after < before, "{after} !< {before}");
+        assert_eq!(Telemetry::disabled().idle_secs(), None);
     }
 
     #[test]

@@ -227,7 +227,7 @@ pub struct MetricsSnapshot {
 }
 
 /// Summary statistics for one histogram.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HistogramSummary {
     /// Number of observations.
     pub count: u64,

@@ -1,7 +1,8 @@
 //! Output sinks: JSONL line encoding and the human-readable timeline.
 
-use crate::json::{quote, JsonObject};
+use crate::json::JsonObject;
 use crate::metrics::MetricsSnapshot;
+use crate::parse::JsonValue;
 use crate::span::{AttrValue, SpanRecord};
 use crate::DeviceEvent;
 use std::fmt::Write as _;
@@ -26,6 +27,7 @@ pub fn span_line(rec: &SpanRecord) -> String {
         .u64_field("id", rec.id)
         .u64_field("parent", rec.parent.unwrap_or(0))
         .str_field("name", &rec.name)
+        .f64_field("start_s", rec.start_secs)
         .f64_field("wall_s", rec.wall_secs)
         .f64_field("sim_s", rec.sim_secs);
     obj = obj.raw_field("attrs", &attrs_json(&rec.attrs));
@@ -94,26 +96,6 @@ fn fmt_secs(s: f64) -> String {
     }
 }
 
-fn render_span_tree(out: &mut String, spans: &[SpanRecord], parent: Option<u64>, depth: usize) {
-    for rec in spans.iter().filter(|r| r.parent == parent) {
-        let indent = "  ".repeat(depth + 1);
-        let attrs = rec
-            .attrs
-            .iter()
-            .map(|(k, v)| format!("{k}={v}"))
-            .collect::<Vec<_>>()
-            .join(" ");
-        let _ = writeln!(
-            out,
-            "{indent}{:<24} sim {:>10}  wall {:>10}  {attrs}",
-            rec.name,
-            fmt_secs(rec.sim_secs),
-            fmt_secs(rec.wall_secs),
-        );
-        render_span_tree(out, spans, Some(rec.id), depth + 1);
-    }
-}
-
 /// Renders the human-readable timeline: the span tree followed by a
 /// metrics summary.
 pub fn render_timeline(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> String {
@@ -123,7 +105,23 @@ pub fn render_timeline(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> Stri
     if spans.is_empty() {
         out.push_str("    (none)\n");
     } else {
-        render_span_tree(&mut out, spans, None, 1);
+        let tree = crate::tree::SpanTree::build(spans.to_vec());
+        tree.walk(|rec, depth| {
+            let indent = "  ".repeat(depth + 2);
+            let attrs = rec
+                .attrs
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "{indent}{:<24} sim {:>10}  wall {:>10}  {attrs}",
+                rec.name,
+                fmt_secs(rec.sim_secs),
+                fmt_secs(rec.wall_secs),
+            );
+        });
     }
     if !snapshot.counters.is_empty() {
         out.push_str("  counters:\n");
@@ -150,34 +148,28 @@ pub fn render_timeline(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> Stri
     out
 }
 
-/// Quick structural validation used by tests and the profiling binary:
-/// checks that a line is a braced object and extracts a string field.
-pub fn extract_str_field(line: &str, key: &str) -> Option<String> {
-    let needle = format!("{}:", quote(key));
-    let start = line.find(&needle)? + needle.len();
-    let rest = &line[start..];
-    if !rest.starts_with('"') {
-        return None;
-    }
-    let mut out = String::new();
-    let mut chars = rest[1..].chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(out),
-            '\\' => out.push(chars.next()?),
-            c => out.push(c),
-        }
-    }
-    None
+/// Looks up `key` in a parsed line: at the top level first, then inside
+/// the `attrs` sub-object (span lines keep their attributes nested).
+fn lookup<'a>(line: &'a JsonValue, key: &str) -> Option<&'a JsonValue> {
+    line.get(key)
+        .or_else(|| line.get("attrs").and_then(|a| a.get(key)))
 }
 
-/// Extracts a numeric (or integer) field from a JSONL line.
+/// Extracts a string field from a JSONL line (top level or span attrs).
+///
+/// Built on the full parser in [`crate::parse`], so escaped quotes and
+/// nested objects are handled correctly; returns `None` for lines that do
+/// not parse as a JSON object or lack a string-valued `key`.
+pub fn extract_str_field(line: &str, key: &str) -> Option<String> {
+    let value = JsonValue::parse(line.trim()).ok()?;
+    lookup(&value, key)?.as_str().map(str::to_string)
+}
+
+/// Extracts a numeric (or integer) field from a JSONL line (top level or
+/// span attrs). See [`extract_str_field`] for parsing behavior.
 pub fn extract_num_field(line: &str, key: &str) -> Option<f64> {
-    let needle = format!("{}:", quote(key));
-    let start = line.find(&needle)? + needle.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
+    let value = JsonValue::parse(line.trim()).ok()?;
+    lookup(&value, key)?.as_f64()
 }
 
 #[cfg(test)]
@@ -190,6 +182,7 @@ mod tests {
             parent: Some(1),
             name: "scan".into(),
             attrs: vec![("epoch".into(), 0usize.into())],
+            start_secs: 0.125,
             wall_secs: 0.001,
             sim_secs: 0.25,
         }
@@ -200,9 +193,25 @@ mod tests {
         let line = span_line(&sample_span());
         assert_eq!(extract_str_field(&line, "type").as_deref(), Some("span"));
         assert_eq!(extract_str_field(&line, "name").as_deref(), Some("scan"));
+        assert_eq!(extract_num_field(&line, "start_s"), Some(0.125));
         assert_eq!(extract_num_field(&line, "sim_s"), Some(0.25));
         assert_eq!(extract_num_field(&line, "parent"), Some(1.0));
         assert_eq!(extract_num_field(&line, "epoch"), Some(0.0));
+    }
+
+    #[test]
+    fn extractors_survive_escaped_quotes_and_nesting() {
+        // A string value containing an escaped quote and something that
+        // looks like another field must not confuse later lookups.
+        let line = r#"{"type":"span","name":"a\"b","trap":"\"sim_s\":999,","attrs":{"label":"x,y"},"sim_s":0.5}"#;
+        assert_eq!(extract_str_field(line, "name").as_deref(), Some("a\"b"));
+        assert_eq!(extract_num_field(line, "sim_s"), Some(0.5));
+        assert_eq!(extract_str_field(line, "label").as_deref(), Some("x,y"));
+        // Nested-object values don't terminate the scan early.
+        let nested = r#"{"a":{"b":{"c":1}},"d":2}"#;
+        assert_eq!(extract_num_field(nested, "d"), Some(2.0));
+        // Whole-line garbage returns None instead of a bogus match.
+        assert_eq!(extract_num_field("not json \"d\":3", "d"), None);
     }
 
     #[test]
@@ -234,6 +243,7 @@ mod tests {
                 parent: None,
                 name: "epoch".into(),
                 attrs: vec![("epoch".into(), 0usize.into())],
+                start_secs: 0.0,
                 wall_secs: 0.5,
                 sim_secs: 2.0,
             },

@@ -81,7 +81,7 @@ impl fmt::Display for AttrValue {
 }
 
 /// One completed span.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
     /// Unique id within the run (1-based; 0 means "no parent").
     pub id: u64,
@@ -91,6 +91,10 @@ pub struct SpanRecord {
     pub name: String,
     /// Key/value attributes attached while the span was open.
     pub attrs: Vec<(String, AttrValue)>,
+    /// Host wall-clock offset of the span's open, in seconds since the
+    /// telemetry stream was created (0 for artifacts written before this
+    /// field existed).
+    pub start_secs: f64,
     /// Host wall-clock duration in seconds.
     pub wall_secs: f64,
     /// Simulated-device seconds attributed to this span (0 when the span
@@ -112,6 +116,14 @@ impl SpanRecord {
             _ => None,
         }
     }
+
+    /// The span's dominant-clock cost: the larger of its simulated-device
+    /// and host wall seconds. Device-attributed phases (scan/select/ship/
+    /// feedback) are dominated by the sim clock; host-only phases (train)
+    /// by the wall clock. Critical-path extraction ranks spans by this.
+    pub fn cost_secs(&self) -> f64 {
+        self.sim_secs.max(self.wall_secs)
+    }
 }
 
 #[cfg(test)]
@@ -125,12 +137,14 @@ mod tests {
             parent: None,
             name: "scan".into(),
             attrs: vec![("epoch".into(), 3usize.into()), ("note".into(), "x".into())],
+            start_secs: 0.0,
             wall_secs: 0.0,
             sim_secs: 0.5,
         };
         assert_eq!(rec.attr_u64("epoch"), Some(3));
         assert_eq!(rec.attr("note"), Some(&AttrValue::Str("x".into())));
         assert_eq!(rec.attr("missing"), None);
+        assert_eq!(rec.cost_secs(), 0.5);
     }
 
     #[test]

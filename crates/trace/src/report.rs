@@ -1,0 +1,268 @@
+//! The report view: where did the epoch go?
+
+use crate::run::RunTrace;
+use nessa_telemetry::HistogramSummary;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate of one phase's spans within a scope (one epoch or the run).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStat {
+    /// Number of spans.
+    pub count: usize,
+    /// Summed host wall seconds.
+    pub wall_s: f64,
+    /// Summed simulated device seconds.
+    pub sim_s: f64,
+}
+
+impl PhaseStat {
+    fn add(&mut self, wall_s: f64, sim_s: f64) {
+        self.count += 1;
+        self.wall_s += wall_s;
+        self.sim_s += sim_s;
+    }
+}
+
+/// One epoch's time breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct EpochReport {
+    /// Epoch number (from the `epoch` span attribute).
+    pub epoch: u64,
+    /// The epoch span's host wall seconds.
+    pub wall_s: f64,
+    /// The epoch span's simulated device seconds.
+    pub sim_s: f64,
+    /// Phase name → aggregate over the epoch span's children.
+    pub phases: BTreeMap<String, PhaseStat>,
+    /// Span names along the most-expensive descendant chain (dominant
+    /// clock, see `SpanRecord::cost_secs`), starting at `epoch`.
+    pub critical_path: Vec<String>,
+    /// Simulated device seconds of the selection side (every child
+    /// except `train`) divided by the `train` child's wall seconds.
+    /// NeSSA's premise is that this stays below 1: selection on the
+    /// SmartSSD hides under GPU training time. `None` when the epoch has
+    /// no train span (or it took no measurable time).
+    pub overlap_ratio: Option<f64>,
+}
+
+/// The full report over one run's trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Per-epoch breakdowns, ordered by epoch number.
+    pub epochs: Vec<EpochReport>,
+    /// Phase name → aggregate across all epochs.
+    pub phase_totals: BTreeMap<String, PhaseStat>,
+    /// Device phase label → (event count, summed sim seconds, bytes).
+    pub device_phases: BTreeMap<String, (usize, f64, u64)>,
+    /// Final histogram summaries (p50/p95/p99 come from the log-bucket
+    /// histogram lines, so they carry its ~±15 % relative error).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl TraceReport {
+    /// Builds the report from a loaded trace.
+    pub fn from_trace(trace: &RunTrace) -> Self {
+        let mut epochs = Vec::new();
+        let mut phase_totals: BTreeMap<String, PhaseStat> = BTreeMap::new();
+        for root in trace.tree.roots().filter(|s| s.name == "epoch") {
+            let mut rep = EpochReport {
+                epoch: root.attr_u64("epoch").unwrap_or(u64::MAX),
+                wall_s: root.wall_secs,
+                sim_s: root.sim_secs,
+                ..EpochReport::default()
+            };
+            let mut device_sim = 0.0;
+            let mut train_wall = 0.0;
+            for child in trace.tree.children(root.id) {
+                rep.phases
+                    .entry(child.name.clone())
+                    .or_default()
+                    .add(child.wall_secs, child.sim_secs);
+                phase_totals
+                    .entry(child.name.clone())
+                    .or_default()
+                    .add(child.wall_secs, child.sim_secs);
+                if child.name == "train" {
+                    train_wall += child.wall_secs;
+                } else {
+                    device_sim += child.sim_secs;
+                }
+            }
+            rep.critical_path = trace
+                .tree
+                .critical_path(root.id)
+                .iter()
+                .map(|s| s.name.clone())
+                .collect();
+            rep.overlap_ratio = (train_wall > 0.0).then_some(device_sim / train_wall);
+            epochs.push(rep);
+        }
+        epochs.sort_by_key(|e| e.epoch);
+        let mut device_phases: BTreeMap<String, (usize, f64, u64)> = BTreeMap::new();
+        for ev in &trace.device_events {
+            let slot = device_phases.entry(ev.phase.clone()).or_default();
+            slot.0 += 1;
+            slot.1 += ev.duration_s;
+            slot.2 += ev.bytes;
+        }
+        TraceReport {
+            epochs,
+            phase_totals,
+            device_phases,
+            histograms: trace.histograms.clone(),
+        }
+    }
+
+    /// Mean selection-vs-training overlap ratio across epochs that have
+    /// one.
+    pub fn mean_overlap_ratio(&self) -> Option<f64> {
+        let ratios: Vec<f64> = self.epochs.iter().filter_map(|e| e.overlap_ratio).collect();
+        (!ratios.is_empty()).then(|| ratios.iter().sum::<f64>() / ratios.len() as f64)
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace report ({} epochs)", self.epochs.len());
+        out.push_str("  per-epoch breakdown (sim = simulated device clock, wall = host clock):\n");
+        for e in &self.epochs {
+            let _ = writeln!(
+                out,
+                "    epoch {:<3} wall {:>10.6}s  sim {:>10.6}s  overlap {}",
+                e.epoch,
+                e.wall_s,
+                e.sim_s,
+                match e.overlap_ratio {
+                    Some(r) => format!("{r:.3e}"),
+                    None => "-".into(),
+                }
+            );
+            for (name, p) in &e.phases {
+                let _ = writeln!(
+                    out,
+                    "      {:<10} x{:<2} wall {:>10.6}s  sim {:>10.6}s",
+                    name, p.count, p.wall_s, p.sim_s
+                );
+            }
+            let _ = writeln!(out, "      critical path: {}", e.critical_path.join(" > "));
+        }
+        out.push_str("  phase totals:\n");
+        for (name, p) in &self.phase_totals {
+            let _ = writeln!(
+                out,
+                "    {:<10} x{:<3} wall {:>10.6}s  sim {:>10.6}s",
+                name, p.count, p.wall_s, p.sim_s
+            );
+        }
+        if let Some(r) = self.mean_overlap_ratio() {
+            let _ = writeln!(
+                out,
+                "  mean selection/training overlap ratio: {r:.3e} (<1 = selection hides under training)"
+            );
+        }
+        if !self.device_phases.is_empty() {
+            out.push_str("  device events (sim clock):\n");
+            for (name, (count, secs, bytes)) in &self.device_phases {
+                let _ = writeln!(
+                    out,
+                    "    {:<12} x{:<4} {:>12.6}s  {:>14} B",
+                    name, count, secs, bytes
+                );
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("  histograms (count / p50 / p95 / p99):\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "    {:<28} {} / {:.3e} / {:.3e} / {:.3e}",
+                    name, h.count, h.p50, h.p95, h.p99
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nessa_telemetry::{SpanRecord, SpanTree};
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        epoch: u64,
+        wall: f64,
+        sim: f64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            attrs: vec![("epoch".into(), epoch.into())],
+            start_secs: 0.0,
+            wall_secs: wall,
+            sim_secs: sim,
+        }
+    }
+
+    fn two_epoch_trace() -> RunTrace {
+        let spans = vec![
+            span(1, None, "epoch", 0, 1.0, 0.9),
+            span(2, Some(1), "scan", 0, 0.01, 0.3),
+            span(3, Some(1), "select", 0, 0.02, 0.5),
+            span(4, Some(1), "train", 0, 0.8, 0.0),
+            span(5, Some(1), "feedback", 0, 0.01, 0.1),
+            span(6, None, "epoch", 1, 1.1, 0.4),
+            span(7, Some(6), "train", 1, 1.0, 0.0),
+            span(8, Some(6), "feedback", 1, 0.01, 0.4),
+        ];
+        RunTrace {
+            tree: SpanTree::build(spans),
+            ..RunTrace::default()
+        }
+    }
+
+    #[test]
+    fn epochs_sorted_with_phase_stats() {
+        let rep = TraceReport::from_trace(&two_epoch_trace());
+        assert_eq!(rep.epochs.len(), 2);
+        assert_eq!(rep.epochs[0].epoch, 0);
+        let scan = &rep.epochs[0].phases["scan"];
+        assert_eq!(scan.count, 1);
+        assert_eq!(scan.sim_s, 0.3);
+        assert_eq!(rep.phase_totals["train"].count, 2);
+        assert!((rep.phase_totals["train"].wall_s - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_ratio_is_device_sim_over_train_wall() {
+        let rep = TraceReport::from_trace(&two_epoch_trace());
+        // epoch 0: (0.3 + 0.5 + 0.1) sim vs 0.8 train wall.
+        let r0 = rep.epochs[0].overlap_ratio.unwrap();
+        assert!((r0 - 0.9 / 0.8).abs() < 1e-12, "{r0}");
+        // epoch 1: 0.4 / 1.0.
+        let r1 = rep.epochs[1].overlap_ratio.unwrap();
+        assert!((r1 - 0.4).abs() < 1e-12, "{r1}");
+        let mean = rep.mean_overlap_ratio().unwrap();
+        assert!((mean - (r0 + r1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_descends_dominant_phase() {
+        let rep = TraceReport::from_trace(&two_epoch_trace());
+        // epoch 0's dominant child is train (wall 0.8 > select sim 0.5).
+        assert_eq!(rep.epochs[0].critical_path, vec!["epoch", "train"]);
+        assert!(rep.render().contains("critical path: epoch > train"));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let rep = TraceReport::from_trace(&RunTrace::default());
+        assert!(rep.epochs.is_empty());
+        assert!(rep.render().contains("0 epochs"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Loading a telemetry stream back into typed form.
+
+use nessa_telemetry::{
+    parse_stream, DeviceEvent, HistogramSummary, SpanTree, StreamError, Telemetry, TelemetryEvent,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A fully-loaded telemetry stream for one run.
+///
+/// Metric lines are appended at every `Telemetry::flush`, so a stream may
+/// contain several generations of the same metric; the *last* value wins
+/// (it is the end-of-run state).
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// The reconstructed span hierarchy.
+    pub tree: SpanTree,
+    /// Bridged device events (simulated clock), in stream order.
+    pub device_events: Vec<DeviceEvent>,
+    /// Final counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Final histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Lines of types this crate does not interpret (e.g. `epoch`/`run`
+    /// lines from `RunReport::to_jsonl` sharing the file).
+    pub other_lines: usize,
+}
+
+impl RunTrace {
+    /// Assembles a trace from already-decoded events.
+    pub fn from_events(events: Vec<TelemetryEvent>) -> Self {
+        let mut spans = Vec::new();
+        let mut out = RunTrace::default();
+        for ev in events {
+            match ev {
+                TelemetryEvent::Span(s) => spans.push(s),
+                TelemetryEvent::Device(d) => out.device_events.push(d),
+                TelemetryEvent::Counter { name, value } => {
+                    out.counters.insert(name, value);
+                }
+                TelemetryEvent::Gauge { name, value } => {
+                    out.gauges.insert(name, value);
+                }
+                TelemetryEvent::Histogram { name, summary } => {
+                    out.histograms.insert(name, summary);
+                }
+                TelemetryEvent::Other(_) => out.other_lines += 1,
+            }
+        }
+        out.tree = SpanTree::build(spans);
+        out
+    }
+
+    /// Parses a JSONL stream.
+    // Deliberately mirrors `FromStr::from_str`; kept inherent so callers
+    // get it without importing the trait.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(text: &str) -> Result<Self, StreamError> {
+        Ok(Self::from_events(parse_stream(text)?))
+    }
+
+    /// Reads and parses a JSONL artifact from disk.
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Self, LoadError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| LoadError::Io {
+            path: path.display().to_string(),
+            error: e,
+        })?;
+        Self::from_str(&text).map_err(LoadError::Parse)
+    }
+
+    /// Captures the current state of a live telemetry handle — the same
+    /// shape the JSONL round trip produces, for in-memory comparison.
+    pub fn from_telemetry(telemetry: &Telemetry) -> Self {
+        let snapshot = telemetry.metrics_snapshot();
+        RunTrace {
+            tree: SpanTree::build(telemetry.spans()),
+            device_events: telemetry.device_events(),
+            counters: snapshot.counters.into_iter().collect(),
+            gauges: snapshot.gauges.into_iter().collect(),
+            histograms: snapshot.histograms.into_iter().collect(),
+            other_lines: 0,
+        }
+    }
+}
+
+/// Why a trace artifact could not be loaded.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io {
+        /// Path that failed.
+        path: String,
+        /// Underlying I/O error.
+        error: std::io::Error,
+    },
+    /// A line failed to parse.
+    Parse(StreamError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io { path, error } => write!(f, "cannot read {path}: {error}"),
+            LoadError::Parse(e) => write!(f, "malformed telemetry stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn later_metric_lines_win() {
+        let text = "\
+{\"type\":\"counter\",\"name\":\"c\",\"value\":1}\n\
+{\"type\":\"gauge\",\"name\":\"g\",\"value\":0.5}\n\
+{\"type\":\"counter\",\"name\":\"c\",\"value\":7}\n";
+        let trace = RunTrace::from_str(text).unwrap();
+        assert_eq!(trace.counters["c"], 7);
+        assert_eq!(trace.gauges["g"], 0.5);
+    }
+
+    #[test]
+    fn unknown_lines_are_counted_not_fatal() {
+        let text = "{\"type\":\"epoch\",\"epoch\":0}\n{\"type\":\"run\",\"name\":\"x\"}\n";
+        let trace = RunTrace::from_str(text).unwrap();
+        assert_eq!(trace.other_lines, 2);
+        assert!(trace.tree.is_empty());
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = RunTrace::from_path("/no/such/file.jsonl").unwrap_err();
+        assert!(err.to_string().contains("/no/such/file.jsonl"));
+    }
+}
