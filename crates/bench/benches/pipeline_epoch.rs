@@ -26,19 +26,22 @@ fn bench_policies(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("nessa_30pct", |b| {
         b.iter(|| {
-            black_box(run_policy(
-                &Policy::Nessa(NessaConfig::new(0.3, 3)),
-                &train,
-                &test,
-                3,
-                32,
-                0,
-                &builder,
-            ))
+            black_box(
+                run_policy(
+                    &Policy::Nessa(NessaConfig::new(0.3, 3)),
+                    &train,
+                    &test,
+                    3,
+                    32,
+                    0,
+                    &builder,
+                )
+                .unwrap(),
+            )
         })
     });
     group.bench_function("full_data", |b| {
-        b.iter(|| black_box(run_policy(&Policy::Goal, &train, &test, 3, 32, 0, &builder)))
+        b.iter(|| black_box(run_policy(&Policy::Goal, &train, &test, 3, 32, 0, &builder).unwrap()))
     });
     group.finish();
 }

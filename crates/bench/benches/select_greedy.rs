@@ -34,7 +34,7 @@ fn bench_greedy_variants(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(name, n), &sim, |b, sim| {
                 b.iter(|| {
                     let mut rng = Rng64::new(0);
-                    black_box(maximize(sim, k, variant, &mut rng))
+                    black_box(maximize(sim, k, variant, &mut rng).unwrap())
                 })
             });
         }

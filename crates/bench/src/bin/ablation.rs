@@ -72,7 +72,8 @@ fn main() {
             threads: 1,
             metrics: None,
         };
-        let sel = select_per_class(&feats, &labels, 1, fraction, &opts, &mut rng);
+        let sel = select_per_class(&feats, &labels, 1, fraction, &opts, &mut rng)
+            .expect("selection failed");
         let cost = kmedoids::cost(&feats, &sel.indices);
         let obj = sim.objective(&sel.indices);
         let label = if chunk == usize::MAX {

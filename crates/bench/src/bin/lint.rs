@@ -1,0 +1,110 @@
+//! The `nessa-lint` command-line gate.
+//!
+//! ```text
+//! cargo run --release --bin lint                 # human report, exit 1 on new debt
+//! cargo run --release --bin lint -- --json       # machine report (CI artifact)
+//! cargo run --release --bin lint -- --write-baseline   # re-freeze current debt
+//! ```
+//!
+//! Exit codes: `0` clean (baselined debt may remain), `1` new
+//! violations beyond the baseline, `2` usage or I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nessa_lint::baseline::Baseline;
+use nessa_lint::{lint_with_baseline, report};
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+}
+
+const USAGE: &str = "usage: lint [--root <dir>] [--baseline <file>] [--json] [--write-baseline]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        json: false,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("crates/lint/baseline.toml"));
+
+    let baseline = if baseline_path.exists() {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("lint: {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("lint: cannot read {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let outcome = lint_with_baseline(&args.root, &baseline);
+
+    if args.write_baseline {
+        let fresh = Baseline::from_counts(&outcome.counts());
+        if let Err(e) = std::fs::write(&baseline_path, fresh.to_toml()) {
+            eprintln!("lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "lint: wrote {} entr{} to {}",
+            fresh.len(),
+            if fresh.len() == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        print!("{}", report::json(&outcome));
+    } else {
+        print!("{}", report::human(&outcome));
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -59,7 +59,7 @@ fn main() {
     let target = builder(&mut rng);
     let selector = builder(&mut rng);
     let mut pipeline = NessaPipeline::new(cfg, target, selector, train, test);
-    let report = pipeline.run();
+    let report = pipeline.run().expect("pipeline run failed");
 
     println!("profile run: {report}");
     rule(72);

@@ -49,6 +49,9 @@ pub fn run_scaled(
 ) -> RunReport {
     let builder = model_builder(train.dim(), train.classes());
     run_policy(policy, train, test, epochs, BATCH, seed, &builder)
+        // nessa-lint: allow(p1-panic) — experiment binaries want a loud
+        // crash with the pipeline error, not a threaded Result.
+        .expect("policy run failed")
 }
 
 /// Formats a fraction as a percentage with two decimals.

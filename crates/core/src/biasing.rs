@@ -122,10 +122,13 @@ impl LossTracker {
             .filter_map(|&i| self.recent_loss(i).map(|l| (i, l)))
             .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        let victims: std::collections::HashSet<usize> =
-            scored.iter().take(to_drop).map(|&(i, _)| i).collect();
+        // Sorted membership vector instead of a HashSet: deterministic
+        // and hash-free (nessa-lint rule D3).
+        let mut victims: Vec<usize> = scored.iter().take(to_drop).map(|&(i, _)| i).collect();
+        victims.sort_unstable();
+        victims.dedup();
         let dropped = victims.len();
-        self.active.retain(|i| !victims.contains(i));
+        self.active.retain(|i| victims.binary_search(i).is_err());
         self.total_dropped += dropped;
         dropped
     }

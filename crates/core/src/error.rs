@@ -1,0 +1,68 @@
+//! Typed pipeline failures.
+//!
+//! The epoch loop never panics (`nessa-lint` rule **P1**): anything that
+//! can go wrong during a run — bad selection inputs, a kernel profile
+//! that does not fit the FPGA's on-chip memory — surfaces as a
+//! [`PipelineError`] so callers can attribute and report it.
+
+use nessa_select::SelectError;
+use nessa_smartssd::fpga::KernelError;
+
+/// Why a pipeline run stopped before completing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The selection kernel rejected its inputs or broke an invariant.
+    Select(SelectError),
+    /// The simulated FPGA rejected the kernel profile (typically a chunk
+    /// that exceeds on-chip memory; enable partitioning or shrink the
+    /// chunk).
+    Kernel(KernelError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Select(e) => write!(f, "selection failed: {e}"),
+            PipelineError::Kernel(e) => write!(f, "selection kernel failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Select(e) => Some(e),
+            PipelineError::Kernel(e) => Some(e),
+        }
+    }
+}
+
+impl From<SelectError> for PipelineError {
+    fn from(e: SelectError) -> Self {
+        PipelineError::Select(e)
+    }
+}
+
+impl From<KernelError> for PipelineError {
+    fn from(e: KernelError) -> Self {
+        PipelineError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_sources() {
+        let e = PipelineError::from(SelectError::BadFraction(2.0));
+        assert!(e.to_string().contains("selection failed"));
+        assert!(e.to_string().contains("2"));
+        let k = PipelineError::from(KernelError::ChunkTooLarge {
+            required: 10,
+            available: 5,
+        });
+        assert!(k.to_string().contains("kernel"));
+        assert!(std::error::Error::source(&k).is_some());
+    }
+}

@@ -17,8 +17,8 @@
 //! gauges feed unregistered metrics and [`HealthMonitor::check_stall`]
 //! reports a healthy pipeline).
 
+use nessa_telemetry::clock::{self, Instant};
 use nessa_telemetry::{Counter, Gauge, Telemetry};
-use std::time::Instant;
 
 /// What the stall check concluded.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,7 +62,7 @@ impl HealthMonitor {
     /// stall budget (seconds without a span close before the pipeline is
     /// considered wedged).
     pub fn new(telemetry: &Telemetry, total_epochs: usize, stall_budget_secs: f64) -> Self {
-        let now = Instant::now();
+        let now = clock::now();
         HealthMonitor {
             telemetry: telemetry.clone(),
             stall_budget_secs,
@@ -81,7 +81,7 @@ impl HealthMonitor {
     /// Records one completed epoch that trained on `samples` samples and
     /// refreshes every gauge. Returns the epoch's wall seconds.
     pub fn epoch_completed(&mut self, samples: usize) -> f64 {
-        let now = Instant::now();
+        let now = clock::now();
         let epoch_secs = now.duration_since(self.last_epoch_end).as_secs_f64();
         self.last_epoch_end = now;
         self.epochs_done += 1;

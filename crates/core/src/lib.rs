@@ -28,6 +28,7 @@
 
 pub mod biasing;
 pub mod config;
+pub mod error;
 pub mod health;
 pub mod pipeline;
 pub mod policy;
@@ -38,6 +39,7 @@ pub mod timing;
 pub mod trainer;
 
 pub use config::NessaConfig;
+pub use error::PipelineError;
 pub use health::{HealthMonitor, HealthStatus};
 pub use pipeline::NessaPipeline;
 pub use policy::{run_policy, Policy};

@@ -2,6 +2,7 @@
 
 use crate::biasing::LossTracker;
 use crate::config::NessaConfig;
+use crate::error::PipelineError;
 use crate::health::HealthMonitor;
 use crate::proxy::gradient_proxies;
 use crate::report::{EpochRecord, RunReport};
@@ -89,7 +90,13 @@ impl NessaPipeline {
     }
 
     /// Runs the full training loop and returns the report.
-    pub fn run(&mut self) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Select`] if the selection kernel rejects its
+    /// inputs, [`PipelineError::Kernel`] if a selection chunk exceeds the
+    /// FPGA's on-chip memory (enable partitioning or shrink the chunk).
+    pub fn run(&mut self) -> Result<RunReport, PipelineError> {
         let cfg = self.config.clone();
         let n = self.train.len();
         let mut rng = Rng64::new(cfg.seed);
@@ -173,7 +180,7 @@ impl NessaPipeline {
                     fraction,
                     &opts,
                     &mut rng,
-                );
+                )?;
                 // Temper the medoid weights (see NessaConfig::weight_temper).
                 for w in &mut local.weights {
                     *w = w.powf(cfg.weight_temper);
@@ -202,10 +209,7 @@ impl NessaPipeline {
                     }),
                     k_per_chunk: cfg.batch_size,
                 };
-                let kernel_secs = self
-                    .device
-                    .run_selection(&profile)
-                    .expect("selection chunk exceeds FPGA on-chip memory; enable partitioning");
+                let kernel_secs = self.device.run_selection(&profile)?;
                 select_span.add_sim_secs(kernel_secs);
                 select_span.set_attr("subset", selection.len());
                 select_span.finish();
@@ -319,7 +323,7 @@ impl NessaPipeline {
                 .set(report.device_secs());
             self.telemetry.flush();
         }
-        report
+        Ok(report)
     }
 
     /// The trained target network (for inspection after [`run`]).
@@ -368,7 +372,7 @@ mod tests {
     fn pipeline_trains_to_reasonable_accuracy() {
         let cfg = NessaConfig::new(0.3, 15).with_batch_size(32).with_seed(0);
         let mut p = small_setup(&cfg);
-        let report = p.run();
+        let report = p.run().unwrap();
         assert_eq!(report.epochs.len(), 15);
         assert!(
             report.final_accuracy() > 0.75,
@@ -384,7 +388,7 @@ mod tests {
     fn traffic_shows_near_storage_benefit() {
         let cfg = NessaConfig::new(0.2, 5).with_batch_size(32).with_seed(1);
         let mut p = small_setup(&cfg);
-        let report = p.run();
+        let report = p.run().unwrap();
         let t = report.traffic;
         assert!(t.ssd_to_fpga > 0, "flash reads must be accounted");
         assert!(t.fpga_to_host > 0, "subset transfers must be accounted");
@@ -401,7 +405,7 @@ mod tests {
         cfg.biasing_drop_every = 3;
         cfg.biasing_drop_fraction = 0.2;
         let mut p = small_setup(&cfg);
-        let report = p.run();
+        let report = p.run().unwrap();
         let first_pool = report.epochs.first().unwrap().pool_size;
         let last_pool = report.epochs.last().unwrap().pool_size;
         assert!(last_pool < first_pool, "{last_pool} !< {first_pool}");
@@ -417,7 +421,7 @@ mod tests {
         cfg.sizing_factor = 0.8;
         cfg.sizing_min_fraction = 0.1;
         let mut p = small_setup(&cfg);
-        let report = p.run();
+        let report = p.run().unwrap();
         let first = report.epochs.first().unwrap().subset_size;
         let last = report.epochs.last().unwrap().subset_size;
         assert!(last < first, "{last} !< {first}");
@@ -431,7 +435,7 @@ mod tests {
             .with_telemetry(TelemetrySettings::memory())
             .with_seed(4);
         let mut p = small_setup(&cfg);
-        p.run();
+        p.run().unwrap();
         let snap = p.telemetry().metrics_snapshot();
         let gauges: std::collections::BTreeMap<_, _> = snap.gauges.into_iter().collect();
         assert_eq!(gauges["health.epochs_done"], 3.0);
@@ -448,8 +452,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let cfg = NessaConfig::new(0.3, 4).with_batch_size(32).with_seed(9);
-        let a = small_setup(&cfg).run();
-        let b = small_setup(&cfg).run();
+        let a = small_setup(&cfg).run().unwrap();
+        let b = small_setup(&cfg).run().unwrap();
         assert_eq!(a.accuracy_curve(), b.accuracy_curve());
         assert_eq!(a.traffic, b.traffic);
     }

@@ -2,6 +2,7 @@
 //! against, through one code path so accuracy comparisons are fair.
 
 use crate::config::NessaConfig;
+use crate::error::PipelineError;
 use crate::pipeline::NessaPipeline;
 use crate::proxy::{embeddings, gradient_proxies};
 use crate::report::{EpochRecord, RunReport};
@@ -59,6 +60,11 @@ impl Policy {
 /// `make_model` builds a fresh network (called once for the trainee and,
 /// for NeSSA, once more for the selector); it receives a seeded RNG so
 /// runs are reproducible.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] when selection rejects its inputs or a
+/// kernel profile does not fit the simulated FPGA.
 pub fn run_policy(
     policy: &Policy,
     train: &Dataset,
@@ -67,7 +73,7 @@ pub fn run_policy(
     batch_size: usize,
     seed: u64,
     make_model: &dyn Fn(&mut Rng64) -> Network,
-) -> RunReport {
+) -> Result<RunReport, PipelineError> {
     match policy {
         Policy::Nessa(cfg) => {
             let mut cfg = cfg.clone();
@@ -93,7 +99,7 @@ fn run_cpu_policy(
     batch_size: usize,
     seed: u64,
     make_model: &dyn Fn(&mut Rng64) -> Network,
-) -> RunReport {
+) -> Result<RunReport, PipelineError> {
     let n = train.len();
     let mut init_rng = Rng64::new(seed);
     let mut net = make_model(&mut init_rng);
@@ -125,7 +131,7 @@ fn run_cpu_policy(
                         metrics: None,
                     },
                     &mut rng,
-                )
+                )?
             }
             Policy::KCenters { fraction } => {
                 // Sener & Savarese select in the penultimate embedding
@@ -169,7 +175,7 @@ fn run_cpu_policy(
             io_secs: 0.0,
         });
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -198,7 +204,7 @@ mod tests {
     #[test]
     fn goal_trains_on_everything() {
         let (train, test) = data();
-        let r = run_policy(&Policy::Goal, &train, &test, 8, 32, 0, &model);
+        let r = run_policy(&Policy::Goal, &train, &test, 8, 32, 0, &model).unwrap();
         assert_eq!(r.epochs[0].subset_size, 300);
         assert!(r.final_accuracy() > 0.8, "goal acc {}", r.final_accuracy());
     }
@@ -206,7 +212,7 @@ mod tests {
     #[test]
     fn craig_matches_goal_within_margin_at_30pct() {
         let (train, test) = data();
-        let goal = run_policy(&Policy::Goal, &train, &test, 10, 32, 0, &model);
+        let goal = run_policy(&Policy::Goal, &train, &test, 10, 32, 0, &model).unwrap();
         let craig = run_policy(
             &Policy::Craig { fraction: 0.3 },
             &train,
@@ -215,7 +221,8 @@ mod tests {
             32,
             0,
             &model,
-        );
+        )
+        .unwrap();
         assert_eq!(craig.epochs[0].subset_size, 90);
         assert!(
             craig.final_accuracy() > goal.final_accuracy() - 0.12,
@@ -235,7 +242,7 @@ mod tests {
             Policy::KCenters { fraction: 0.3 },
             Policy::Random { fraction: 0.3 },
         ] {
-            let r = run_policy(&policy, &train, &test, 3, 32, 1, &model);
+            let r = run_policy(&policy, &train, &test, 3, 32, 1, &model).unwrap();
             assert_eq!(r.epochs.len(), 3, "{}", policy.label());
             assert_eq!(r.name, policy.label());
             assert!(r.final_accuracy() > 0.25, "{} too weak", policy.label());
@@ -262,7 +269,8 @@ mod tests {
             32,
             5,
             &model,
-        );
+        )
+        .unwrap();
         let b = run_policy(
             &Policy::Craig { fraction: 0.2 },
             &train,
@@ -271,7 +279,8 @@ mod tests {
             32,
             5,
             &model,
-        );
+        )
+        .unwrap();
         assert_eq!(a.accuracy_curve(), b.accuracy_curve());
     }
 }

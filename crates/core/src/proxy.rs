@@ -55,6 +55,9 @@ impl GradientProxies {
             let feat = self.features.row(i);
             let row = out.row_mut(i);
             for (ci, &r) in res.iter().enumerate() {
+                // nessa-lint: allow(f1-float-eq) — exact-zero skip is a
+                // pure optimization; any nonzero residual takes the slow
+                // path and computes the same product.
                 if r == 0.0 {
                     continue;
                 }

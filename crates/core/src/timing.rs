@@ -135,6 +135,10 @@ pub fn nessa_epoch(w: &Workload, gpu: &DeviceSpec, fraction: f64) -> PolicyTimin
     };
     let select_s = dev
         .run_selection(&profile)
+        // nessa-lint: allow(p1-panic) — `max_chunk_for` sized the chunk to
+        // fit on-chip memory two statements above, so this cannot fail; a
+        // Result here would force every timing-table caller to thread an
+        // impossible error.
         .expect("chunk chosen to fit on-chip memory");
     // (3) Subset to the GPU.
     let subset_s = dev.send_subset_to_host(subset, w.bytes_per_sample);

@@ -40,7 +40,7 @@ fn every_epoch_phase_emits_exactly_one_span() {
         .with_seed(11)
         .with_telemetry(TelemetrySettings::memory());
     let mut p = pipeline_for(&cfg);
-    let report = p.run();
+    let report = p.run().unwrap();
     let spans = p.telemetry().spans();
 
     for epoch in 0..epochs as u64 {
@@ -82,7 +82,7 @@ fn disabled_phases_emit_no_spans() {
         .with_telemetry(TelemetrySettings::memory());
     cfg.select_every = 2;
     let mut p = pipeline_for(&cfg);
-    let _ = p.run();
+    let _ = p.run().unwrap();
     let spans = p.telemetry().spans();
 
     // Feedback is off: no feedback spans at all.
@@ -121,7 +121,7 @@ fn device_trace_bridges_into_the_stream() {
         .with_seed(13)
         .with_telemetry(TelemetrySettings::memory());
     let mut p = pipeline_for(&cfg);
-    let report = p.run();
+    let report = p.run().unwrap();
     let events = p.telemetry().device_events();
     assert_eq!(events.len(), p.device().trace().len());
     for label in ["scan", "select", "ship", "feedback"] {
@@ -157,7 +157,7 @@ fn device_trace_bridges_into_the_stream() {
 fn telemetry_off_collects_nothing() {
     let cfg = NessaConfig::new(0.3, 2).with_batch_size(32).with_seed(14);
     let mut p = pipeline_for(&cfg);
-    let _ = p.run();
+    let _ = p.run().unwrap();
     assert!(!p.telemetry().is_enabled());
     assert!(p.telemetry().spans().is_empty());
     assert!(p.telemetry().device_events().is_empty());

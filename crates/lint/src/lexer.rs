@@ -1,0 +1,466 @@
+//! Comment- and string-aware source preparation.
+//!
+//! Every rule matches against the **masked** view of a file, where the
+//! bodies of string literals, character literals, and comments are
+//! blanked out (replaced by spaces, newlines preserved). That is what
+//! makes the rules immune to the classic grep false positives: a
+//! `panic!` mentioned in a doc comment, an `Instant::now` inside a log
+//! message, or a `// nessa-lint: allow(...)` *inside a string literal*
+//! never reach the pattern matcher.
+//!
+//! Suppressions are only honoured when they appear in plain `//` line
+//! comments — never in doc comments (`///`, `//!`), block comments, or
+//! string literals — so generated docs cannot accidentally (or
+//! maliciously) disable a rule.
+
+/// Prefix that marks an inline suppression comment.
+pub const ALLOW_PREFIX: &str = "nessa-lint: allow(";
+
+/// A lexed source file: raw lines, masked lines, per-line suppressions,
+/// and the `#[cfg(test)]` region map.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Raw source, split into lines (no trailing newlines).
+    pub lines: Vec<String>,
+    /// Masked source: identical shape, but string/char-literal bodies
+    /// and comments are spaces. Delimiters (`"`) survive so patterns
+    /// like `.expect("` still anchor correctly.
+    pub masked: Vec<String>,
+    /// Rule ids allowed on each line via `// nessa-lint: allow(rule)`.
+    pub allows: Vec<Vec<String>>,
+    /// Whether each line falls inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes a whole file.
+    pub fn parse(source: &str) -> SourceFile {
+        let (masked_text, comments) = mask(source);
+        let lines: Vec<String> = split_lines(source);
+        let masked: Vec<String> = split_lines(&masked_text);
+        let mut allows = vec![Vec::new(); lines.len()];
+        for (line, text) in comments {
+            if line < allows.len() {
+                parse_allow_list(&text, &mut allows[line]);
+            }
+        }
+        let in_test = test_regions(&masked);
+        SourceFile {
+            lines,
+            masked,
+            allows,
+            in_test,
+        }
+    }
+
+    /// Whether a violation of `rule` on `line` (0-based) is suppressed:
+    /// the allow may sit on the line itself or on the run of
+    /// comment-only lines immediately above it (a blank line ends the
+    /// run, keeping suppressions local to what they annotate).
+    pub fn is_suppressed(&self, line: usize, rule: &str) -> bool {
+        if self.allows[line].iter().any(|r| r == rule) {
+            return true;
+        }
+        let mut i = line;
+        while i > 0 {
+            i -= 1;
+            if self.lines[i].trim().is_empty() {
+                return false; // blank line ends the comment run
+            }
+            if !self.masked[i].trim().is_empty() {
+                return false; // a code line ends the comment run
+            }
+            if self.allows[i].iter().any(|r| r == rule) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn split_lines(text: &str) -> Vec<String> {
+    text.split('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l).to_string())
+        .collect()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment { doc: bool },
+    BlockComment { depth: usize },
+    Str,
+    RawStr { hashes: usize },
+    Char,
+}
+
+/// Blanks string/char-literal bodies and comments, preserving length
+/// and line structure. String delimiters (`"`) are kept; comment
+/// markers are blanked along with their body.
+///
+/// Returns the masked text plus the body text of every **plain** `//`
+/// comment as `(line, text)` — the only place suppressions may live.
+/// Collecting them here (rather than re-scanning later) is what keeps
+/// a `//` inside a string literal from ever being mistaken for a
+/// comment: by the time the scanner sees it, it is in string state.
+fn mask(source: &str) -> (String, Vec<(usize, String)>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 0usize;
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let start = i;
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    let third = chars.get(i + 2).copied();
+                    let doc = third == Some('/') || third == Some('!');
+                    state = State::LineComment { doc };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: 1 };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                } else if c == 'r' && matches!(next, Some('"') | Some('#')) && !ident_before(&out) {
+                    // Raw string: r"..." or r#"..."# (any hash count).
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        state = State::RawStr { hashes };
+                        out.extend(std::iter::repeat_n(' ', j - i + 1));
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime. A literal closes within a
+                    // few chars: '\n', 'x'; a lifetime ('a, 'static) does
+                    // not.
+                    if next == Some('\\') {
+                        state = State::Char;
+                        out.push(' ');
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        out.push(' ');
+                        out.push(if next == Some('\n') { '\n' } else { ' ' });
+                        out.push(' ');
+                        i += 3;
+                    } else {
+                        out.push(c); // lifetime; leave in code
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment { doc } => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    if !doc {
+                        match comments.last_mut() {
+                            Some((l, text)) if *l == line => text.push(c),
+                            _ => comments.push((line, c.to_string())),
+                        }
+                    }
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment { depth } => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: depth + 1 };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment { depth: depth - 1 }
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    // A line-continuation escape must keep line structure.
+                    out.push(if next == Some('\n') { '\n' } else { ' ' });
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && (0..hashes).all(|h| chars.get(i + 1 + h) == Some(&'#')) {
+                    state = State::Code;
+                    out.extend(std::iter::repeat_n(' ', hashes + 1));
+                    i += 1 + hashes;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        }
+        line += chars[start..i.min(chars.len())]
+            .iter()
+            .filter(|&&ch| ch == '\n')
+            .count();
+    }
+    (out.into_iter().collect(), comments)
+}
+
+/// Whether the masked output so far ends in an identifier character —
+/// distinguishes the raw-string prefix in `r"..."` from identifiers
+/// that merely end in `r` (`var"` cannot occur, but `for r in` can).
+fn ident_before(out: &[char]) -> bool {
+    // The current char ('r') is not yet pushed, so the last pushed char
+    // is the one *before* it.
+    out.last()
+        .is_some_and(|&prev| prev.is_alphanumeric() || prev == '_')
+}
+
+fn parse_allow_list(comment: &str, out: &mut Vec<String>) {
+    if let Some(start) = comment.find(ALLOW_PREFIX) {
+        let rest = &comment[start + ALLOW_PREFIX.len()..];
+        if let Some(end) = rest.find(')') {
+            for rule in rest[..end].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    out.push(rule.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Marks every line covered by a `#[cfg(test)]` item (typically
+/// `mod tests { ... }`): from the attribute through the matching close
+/// brace (or the terminating `;` for brace-less items).
+fn test_regions(masked: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; masked.len()];
+    let text: Vec<char> = masked.join("\n").chars().collect();
+    // line_of[k] = which line character k sits on.
+    let mut line_of = Vec::with_capacity(text.len());
+    let mut line = 0;
+    for &c in &text {
+        line_of.push(line);
+        if c == '\n' {
+            line += 1;
+        }
+    }
+    let needle: Vec<char> = "#[cfg(test)]".chars().collect();
+    let mut i = 0;
+    while i + needle.len() <= text.len() {
+        if text[i..i + needle.len()] != needle[..] {
+            i += 1;
+            continue;
+        }
+        let start_line = line_of[i];
+        let mut j = i + needle.len();
+        // Scan forward to the item: first `{` opens a braced region;
+        // a `;` first means a brace-less item (e.g. `#[cfg(test)] use`).
+        let mut depth = 0usize;
+        let mut end = None;
+        while j < text.len() {
+            match text[j] {
+                '{' => {
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = Some(j);
+                        break;
+                    }
+                }
+                ';' if depth == 0 => {
+                    end = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = end.unwrap_or(text.len() - 1);
+        let end_line = line_of[end.min(text.len() - 1)];
+        for l in in_test.iter_mut().take(end_line + 1).skip(start_line) {
+            *l = true;
+        }
+        i = end + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments_but_keeps_code() {
+        let sf = SourceFile::parse("let x = 1; // Instant::now() here\n");
+        assert!(sf.masked[0].contains("let x = 1;"));
+        assert!(!sf.masked[0].contains("Instant"));
+    }
+
+    #[test]
+    fn masks_string_bodies_but_keeps_quotes() {
+        let sf = SourceFile::parse("call(\".unwrap() panic!\");\n");
+        assert!(!sf.masked[0].contains("unwrap"));
+        assert!(!sf.masked[0].contains("panic"));
+        assert!(sf.masked[0].contains("call(\""));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let sf = SourceFile::parse("let s = r#\"Instant::now() .unwrap()\"#;\n");
+        assert!(!sf.masked[0].contains("Instant"));
+        assert!(!sf.masked[0].contains("unwrap"));
+        assert!(sf.masked[0].contains("let s ="));
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let sf = SourceFile::parse("a /* x /* panic! */ still comment */ b\n");
+        assert!(sf.masked[0].contains('a'));
+        assert!(sf.masked[0].contains('b'));
+        assert!(!sf.masked[0].contains("panic"));
+        assert!(!sf.masked[0].contains("still"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let sf = SourceFile::parse("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }\n");
+        // Lifetimes survive; char-literal bodies are blanked, so the
+        // quote char inside '"' cannot open a bogus string.
+        assert!(sf.masked[0].contains("<'a>"));
+        assert!(!sf.masked[0].contains("'x'"));
+        assert!(sf.masked[0].contains("let d ="));
+    }
+
+    #[test]
+    fn allow_in_plain_comment_is_honoured() {
+        let sf = SourceFile::parse("x(); // nessa-lint: allow(p1-panic) — reason\n");
+        assert_eq!(sf.allows[0], vec!["p1-panic".to_string()]);
+        assert!(sf.is_suppressed(0, "p1-panic"));
+        assert!(!sf.is_suppressed(0, "d1-wall-clock"));
+    }
+
+    #[test]
+    fn allow_list_parses_multiple_rules() {
+        let sf = SourceFile::parse("// nessa-lint: allow(p1-panic, f1-float-eq)\nx();\n");
+        assert!(sf.is_suppressed(1, "p1-panic"));
+        assert!(sf.is_suppressed(1, "f1-float-eq"));
+    }
+
+    #[test]
+    fn allow_inside_string_literal_is_ignored() {
+        let sf = SourceFile::parse("let s = \"// nessa-lint: allow(p1-panic)\";\n");
+        assert!(sf.allows[0].is_empty());
+        assert!(!sf.is_suppressed(0, "p1-panic"));
+    }
+
+    #[test]
+    fn allow_inside_raw_string_is_ignored() {
+        let sf = SourceFile::parse("let s = r\"// nessa-lint: allow(p1-panic)\";\n");
+        assert!(sf.allows[0].is_empty());
+    }
+
+    #[test]
+    fn allow_in_doc_comment_is_ignored() {
+        let sf = SourceFile::parse("/// nessa-lint: allow(p1-panic)\nx();\n");
+        assert!(sf.allows[0].is_empty());
+        assert!(!sf.is_suppressed(1, "p1-panic"));
+        let sf = SourceFile::parse("//! nessa-lint: allow(p1-panic)\nx();\n");
+        assert!(sf.allows[0].is_empty());
+    }
+
+    #[test]
+    fn preceding_comment_run_suppresses_with_blank_line_boundary() {
+        let src = "\
+// nessa-lint: allow(p1-panic) — spans
+// two comment lines
+x.unwrap();
+";
+        let sf = SourceFile::parse(src);
+        assert!(sf.is_suppressed(2, "p1-panic"));
+        let src_with_gap = "\
+// nessa-lint: allow(p1-panic)
+
+x.unwrap();
+";
+        let sf = SourceFile::parse(src_with_gap);
+        assert!(!sf.is_suppressed(2, "p1-panic"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module_body() {
+        let src = "\
+pub fn lib() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+
+pub fn lib2() {}
+";
+        let sf = SourceFile::parse(src);
+        assert!(!sf.in_test[0]);
+        assert!(sf.in_test[2]); // the attribute line itself
+        assert!(sf.in_test[5]); // the unwrap line
+        assert!(!sf.in_test[8]);
+    }
+
+    #[test]
+    fn cfg_test_braceless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashSet;\nfn lib() {}\n";
+        let sf = SourceFile::parse(src);
+        assert!(sf.in_test[1]);
+        assert!(!sf.in_test[2]);
+    }
+}

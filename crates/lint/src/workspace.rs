@@ -1,0 +1,225 @@
+//! Workspace discovery: which `.rs` files get linted, and what kind
+//! each one is.
+//!
+//! The walker visits the workspace's Rust sources in a deterministic
+//! (sorted) order and classifies each file so rules can scope
+//! themselves: the panic rule, for instance, applies only to
+//! [`FileKind::Library`] code. Build products (`target/`), the in-repo
+//! devtools stand-ins (`crates/devtools/`), and the linter's own test
+//! fixtures (`crates/lint/tests/fixtures/`) are never linted.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What a source file is for — determines which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code shipped to downstream crates. All rules apply.
+    Library,
+    /// Integration-test code (`tests/` directories). Exempt.
+    Test,
+    /// Criterion benchmarks (`benches/`). Exempt.
+    Bench,
+    /// Examples (`examples/`). Exempt.
+    Example,
+    /// Binary entry points (`src/bin/`, `src/main.rs`). Exempt.
+    Bin,
+}
+
+impl FileKind {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FileKind::Library => "library",
+            FileKind::Test => "test",
+            FileKind::Bench => "bench",
+            FileKind::Example => "example",
+            FileKind::Bin => "bin",
+        }
+    }
+}
+
+/// One discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceEntry {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators (stable across
+    /// platforms; this is the form used in baselines and reports).
+    pub rel: String,
+    /// Classification.
+    pub kind: FileKind,
+    /// Rust module path, e.g. `nessa_select::facility` — used in
+    /// reports to attribute a violation to the module a maintainer
+    /// would search for, not just a file path.
+    pub module: String,
+}
+
+/// Directories under the workspace root that contain lintable sources.
+const ROOTS: &[&str] = &["crates", "src", "tests", "benches", "examples"];
+
+/// Path prefixes (workspace-relative, `/`-separated) that are skipped.
+const SKIP_PREFIXES: &[&str] = &["crates/devtools/", "crates/lint/tests/fixtures/", "target/"];
+
+/// Walks the workspace and returns every lintable `.rs` file, sorted by
+/// relative path.
+pub fn discover(root: &Path) -> Vec<SourceEntry> {
+    let mut files = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut files);
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    files
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<SourceEntry>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let rel = relative(&path, root);
+        if SKIP_PREFIXES
+            .iter()
+            .any(|p| rel.starts_with(p) || format!("{rel}/").starts_with(p))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            // Never descend into build products, even nested ones.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, root, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let kind = classify(&rel);
+            let module = module_path(&rel);
+            out.push(SourceEntry {
+                path,
+                rel,
+                kind,
+                module,
+            });
+        }
+    }
+}
+
+fn relative(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(rel: &str) -> FileKind {
+    let segments: Vec<&str> = rel.split('/').collect();
+    if segments.contains(&"tests") {
+        FileKind::Test
+    } else if segments.contains(&"benches") {
+        FileKind::Bench
+    } else if segments.contains(&"examples") {
+        FileKind::Example
+    } else if rel.contains("/src/bin/") || rel.ends_with("src/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Library
+    }
+}
+
+/// Derives the Rust module path for a workspace-relative file path:
+/// `crates/select/src/facility.rs` → `nessa_select::facility`,
+/// `src/lib.rs` → `nessa`, `tests/robustness.rs` → `robustness`.
+pub fn module_path(rel: &str) -> String {
+    let segments: Vec<&str> = rel.split('/').collect();
+    let (crate_name, src_rel) = if segments.first() == Some(&"crates") && segments.len() > 2 {
+        (
+            format!("nessa_{}", segments[1].replace('-', "_")),
+            segments[2..].to_vec(),
+        )
+    } else {
+        ("nessa".to_string(), segments)
+    };
+    let mut parts: Vec<String> = Vec::new();
+    for (i, seg) in src_rel.iter().enumerate() {
+        if i == 0 && (*seg == "src" || *seg == "tests" || *seg == "benches" || *seg == "examples") {
+            continue;
+        }
+        let seg = seg.strip_suffix(".rs").unwrap_or(seg);
+        if seg == "lib" || seg == "mod" || seg == "main" {
+            continue;
+        }
+        parts.push(seg.replace('-', "_"));
+    }
+    // Top-level tests/benches/examples files are their own crate roots.
+    let is_crate_member = src_rel.first() == Some(&"src");
+    if is_crate_member {
+        let mut module = crate_name;
+        for p in parts {
+            module.push_str("::");
+            module.push_str(&p);
+        }
+        module
+    } else if parts.is_empty() {
+        crate_name
+    } else {
+        parts.join("::")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_all_layouts() {
+        assert_eq!(classify("crates/select/src/facility.rs"), FileKind::Library);
+        assert_eq!(classify("crates/select/tests/props.rs"), FileKind::Test);
+        assert_eq!(
+            classify("crates/bench/benches/select_greedy.rs"),
+            FileKind::Bench
+        );
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+        assert_eq!(classify("crates/bench/src/bin/lint.rs"), FileKind::Bin);
+        assert_eq!(classify("src/lib.rs"), FileKind::Library);
+        assert_eq!(classify("tests/robustness.rs"), FileKind::Test);
+    }
+
+    #[test]
+    fn module_paths_read_naturally() {
+        assert_eq!(
+            module_path("crates/select/src/facility.rs"),
+            "nessa_select::facility"
+        );
+        assert_eq!(module_path("crates/select/src/lib.rs"), "nessa_select");
+        assert_eq!(module_path("src/lib.rs"), "nessa");
+        assert_eq!(module_path("tests/robustness.rs"), "robustness");
+        assert_eq!(
+            module_path("crates/nn/src/layers/mod.rs"),
+            "nessa_nn::layers"
+        );
+    }
+
+    #[test]
+    fn discovers_this_workspace_deterministically() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let files = discover(root);
+        assert!(files.len() > 50, "found only {} files", files.len());
+        let rels: Vec<&str> = files.iter().map(|f| f.rel.as_str()).collect();
+        assert!(rels.contains(&"crates/select/src/facility.rs"));
+        assert!(rels.iter().all(|r| !r.starts_with("crates/devtools/")));
+        assert!(rels
+            .iter()
+            .all(|r| !r.starts_with("crates/lint/tests/fixtures/")));
+        let mut sorted = rels.clone();
+        sorted.sort_unstable();
+        assert_eq!(rels, sorted, "discovery order must be deterministic");
+    }
+}

@@ -1,0 +1,109 @@
+//! Runs the engine over the checked-in fixture files — one known
+//! violation (or hazard) per rule — and asserts exact spans.
+//!
+//! The fixtures live under `tests/fixtures/` which the workspace
+//! walker skips, so they never pollute a real lint run.
+
+use std::path::{Path, PathBuf};
+
+use nessa_lint::workspace::{classify, module_path, SourceEntry};
+use nessa_lint::{lint_source, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Lints a fixture as if it lived at `rel` inside the workspace.
+fn lint_fixture_as(name: &str, rel: &str) -> Vec<Violation> {
+    let entry = SourceEntry {
+        path: PathBuf::from(rel),
+        rel: rel.to_string(),
+        kind: classify(rel),
+        module: module_path(rel),
+    };
+    lint_source(&entry, &fixture(name))
+}
+
+#[test]
+fn d1_fixture_flags_the_wall_clock_read() {
+    let v = lint_fixture_as("d1_wall_clock.rs", "crates/nn/src/elapsed.rs");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!((v[0].rule, v[0].line), ("d1-wall-clock", 5));
+}
+
+#[test]
+fn d2_fixture_flags_the_entropy_rng() {
+    let v = lint_fixture_as("d2_unseeded_rng.rs", "crates/nn/src/jitter.rs");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!((v[0].rule, v[0].line), ("d2-unseeded-rng", 4));
+}
+
+#[test]
+fn d3_fixture_flags_hash_collections_in_select_paths_only() {
+    let v = lint_fixture_as("d3_hash_iteration.rs", "crates/select/src/weights.rs");
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|v| v.rule == "d3-hash-iteration"));
+    assert_eq!(v[0].line, 4);
+    assert_eq!(v[1].line, 6);
+    // The same file outside select/core is not D3's business.
+    let v = lint_fixture_as("d3_hash_iteration.rs", "crates/quant/src/weights.rs");
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn p1_fixture_flags_all_three_panic_forms() {
+    let v = lint_fixture_as("p1_panic.rs", "crates/quant/src/first.rs");
+    assert_eq!(v.len(), 3, "{v:?}");
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![4, 5, 7]);
+    assert!(v.iter().all(|v| v.rule == "p1-panic"));
+    // Same content under tests/ is exempt.
+    let v = lint_fixture_as("p1_panic.rs", "crates/quant/tests/first.rs");
+    assert!(v.is_empty());
+}
+
+#[test]
+fn f1_fixture_flags_only_the_float_comparison() {
+    let v = lint_fixture_as("f1_float_eq.rs", "crates/nn/src/conv.rs");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!((v[0].rule, v[0].line), ("f1-float-eq", 4));
+}
+
+#[test]
+fn t1_fixture_flags_only_the_unregistered_phase() {
+    let v = lint_fixture_as("t1_phase.rs", "crates/core/src/trace.rs");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!((v[0].rule, v[0].line), ("t1-unregistered-phase", 4));
+    assert!(v[0].message.contains("warmup"));
+}
+
+#[test]
+fn hazard_suppression_inside_string_does_not_disarm() {
+    let v = lint_fixture_as("hazard_suppression_in_string.rs", "crates/quant/src/log.rs");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!((v[0].rule, v[0].line), ("p1-panic", 7));
+}
+
+#[test]
+fn hazard_suppression_in_doc_comment_does_not_disarm() {
+    let v = lint_fixture_as("hazard_suppression_in_doc.rs", "crates/quant/src/doc.rs");
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert_eq!((v[0].rule, v[0].line), ("p1-panic", 4));
+    assert_eq!((v[1].rule, v[1].line), ("f1-float-eq", 9));
+}
+
+#[test]
+fn hazard_mentions_in_comments_and_strings_are_invisible() {
+    let v = lint_fixture_as("hazard_mentions_only.rs", "crates/select/src/clean.rs");
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn suppressed_fixture_is_clean() {
+    let v = lint_fixture_as("suppressed_ok.rs", "crates/select/src/ok.rs");
+    assert!(v.is_empty(), "{v:?}");
+}

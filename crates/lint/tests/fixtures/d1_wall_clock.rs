@@ -1,0 +1,7 @@
+// Fixture: one D1 violation (wall-clock read in library code).
+// Linted with a synthetic path by tests/fixtures.rs — never compiled.
+
+pub fn elapsed_secs(since: std::time::Instant) -> f64 {
+    let now = std::time::Instant::now(); // violation: line 5
+    now.duration_since(since).as_secs_f64()
+}

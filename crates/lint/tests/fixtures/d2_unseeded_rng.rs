@@ -1,0 +1,6 @@
+// Fixture: one D2 violation (entropy-seeded RNG construction).
+
+pub fn jitter() -> u64 {
+    let mut rng = thread_rng(); // violation: line 4
+    rng.next_u64()
+}

@@ -1,0 +1,9 @@
+// Fixture: one D3 violation (hash collection in a selection path).
+// Only trips when linted under a crates/select or crates/core path.
+
+use std::collections::HashMap; // violation: line 4
+
+pub fn weights(indices: &[usize]) -> HashMap<usize, f32> {
+    // (line 6 has a second HashMap mention: also flagged)
+    indices.iter().map(|&i| (i, 1.0)).collect()
+}

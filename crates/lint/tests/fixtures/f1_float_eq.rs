@@ -1,0 +1,9 @@
+// Fixture: one F1 violation (exact float equality).
+
+pub fn converged(loss: f32) -> bool {
+    loss == 0.0 // violation: line 4
+}
+
+pub fn integer_compare_is_fine(i: usize) -> bool {
+    i == 0
+}

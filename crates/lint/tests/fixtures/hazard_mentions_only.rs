@@ -1,0 +1,15 @@
+// Hazard fixture: rule tokens appearing only in comments, strings,
+// and raw strings must produce ZERO violations.
+//
+// Instant::now() .unwrap() panic! thread_rng HashMap == 0.0
+
+pub fn clean() -> &'static str {
+    let a = "Instant::now() and .unwrap() and panic!";
+    let b = r#".expect("msg") SystemTime::now thread_rng()"#;
+    /* HashMap<usize, f32> and loss == 0.0 in a block comment */
+    if a.len() > b.len() {
+        a
+    } else {
+        b
+    }
+}

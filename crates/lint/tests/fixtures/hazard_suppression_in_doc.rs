@@ -1,0 +1,10 @@
+/// Doc comments cannot carry suppressions:
+/// nessa-lint: allow(p1-panic)
+pub fn still_flagged(x: Option<u32>) -> u32 {
+    x.unwrap() // violation: line 4 — doc-comment allow is inert
+}
+
+//! nessa-lint: allow(f1-float-eq)
+pub fn also_flagged(a: f32) -> bool {
+    a == 1.0 // violation: line 9 — inner-doc allow is inert
+}

@@ -1,0 +1,8 @@
+// Hazard fixture: a suppression *inside a string literal* must not
+// disarm the rule for the real violation on the same line.
+
+pub fn log_and_crash(x: Option<u32>) -> u32 {
+    let msg = "// nessa-lint: allow(p1-panic)";
+    println!("{msg}");
+    x.unwrap() // violation: line 7 — the string above is not a comment
+}

@@ -1,0 +1,10 @@
+// Fixture: three P1 violations (unwrap, expect, panic!).
+
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap(); // violation: line 4
+    let tail = xs.last().expect("non-empty"); // violation: line 5
+    if head > tail {
+        panic!("unsorted"); // violation: line 7
+    }
+    *head
+}

@@ -1,0 +1,11 @@
+// Fixture: properly suppressed violations produce no findings.
+
+pub fn sentinel(c: f32) -> bool {
+    // nessa-lint: allow(f1-float-eq) — exact sentinel comparison is
+    // intentional here; NEG_INFINITY marks "already selected".
+    c == f32::NEG_INFINITY
+}
+
+pub fn invariant(x: Option<u32>) -> u32 {
+    x.unwrap() // nessa-lint: allow(p1-panic) — filled two lines up
+}

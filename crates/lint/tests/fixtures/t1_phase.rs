@@ -1,0 +1,6 @@
+// Fixture: one T1 violation (unregistered telemetry phase name).
+
+pub fn trace(t: &Telemetry) {
+    t.span("warmup").finish(); // violation: line 4
+    t.span("epoch").finish(); // registered: fine
+}

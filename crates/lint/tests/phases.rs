@@ -1,0 +1,21 @@
+//! Rule T1's phase vocabulary is a hardcoded copy (the linter depends
+//! on nothing), so this cross-crate test pins it to the authoritative
+//! registry in `nessa-telemetry`. If a phase is added there, this test
+//! fails until the linter's copy is updated in the same change.
+
+#[test]
+fn lint_phase_list_matches_telemetry_registry() {
+    assert_eq!(
+        nessa_lint::rules::REGISTERED_PHASES,
+        nessa_telemetry::phase::REGISTERED_PHASES,
+        "update nessa_lint::rules::REGISTERED_PHASES alongside the telemetry registry"
+    );
+}
+
+#[test]
+fn telemetry_registry_recognises_its_own_phases() {
+    for phase in nessa_lint::rules::REGISTERED_PHASES {
+        assert!(nessa_telemetry::phase::is_registered(phase));
+    }
+    assert!(!nessa_telemetry::phase::is_registered("warmup"));
+}

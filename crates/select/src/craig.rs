@@ -14,7 +14,7 @@
 use crate::facility::{maximize_metered, GreedyVariant, SimilarityMatrix};
 use crate::fraction_count;
 use crate::metrics::SelectMetrics;
-use crate::Selection;
+use crate::{SelectError, Selection};
 use nessa_tensor::rng::Rng64;
 use nessa_tensor::Tensor;
 
@@ -63,10 +63,12 @@ impl PartialEq for CraigOptions {
 /// * `classes` — number of classes,
 /// * `fraction` — subset fraction in `(0, 1]`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the label count differs from the feature rows, `fraction` is
-/// outside `(0, 1]`, or any label is `≥ classes`.
+/// [`SelectError::LengthMismatch`] if the label count differs from the
+/// feature rows, [`SelectError::BadFraction`] if `fraction` is outside
+/// `(0, 1]`, [`SelectError::LabelOutOfRange`] if any label is
+/// `≥ classes`.
 pub fn select_per_class(
     features: &Tensor,
     labels: &[usize],
@@ -74,21 +76,39 @@ pub fn select_per_class(
     fraction: f32,
     options: &CraigOptions,
     rng: &mut Rng64,
-) -> Selection {
-    assert_eq!(features.dim(0), labels.len(), "label count mismatch");
-    assert!(
-        fraction > 0.0 && fraction <= 1.0,
-        "fraction must be in (0, 1], got {fraction}"
-    );
-    assert!(labels.iter().all(|&y| y < classes), "label out of range");
-    // Group candidate indices by class.
+) -> Result<Selection, SelectError> {
+    let by_class = group_by_class(features.dim(0), labels, classes, fraction)?;
+    let sim_of =
+        |members: &[usize]| SimilarityMatrix::from_features(&features.gather_rows(members));
+    run_per_class(&sim_of, &by_class, fraction, options, rng)
+}
+
+/// Validates the shared per-class preconditions and groups candidate
+/// indices by class.
+fn group_by_class(
+    rows: usize,
+    labels: &[usize],
+    classes: usize,
+    fraction: f32,
+) -> Result<Vec<Vec<usize>>, SelectError> {
+    if rows != labels.len() {
+        return Err(SelectError::LengthMismatch {
+            what: "labels",
+            expected: rows,
+            actual: labels.len(),
+        });
+    }
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(SelectError::BadFraction(fraction));
+    }
+    if let Some(&label) = labels.iter().find(|&&y| y >= classes) {
+        return Err(SelectError::LabelOutOfRange { label, classes });
+    }
     let mut by_class = vec![Vec::new(); classes];
     for (i, &y) in labels.iter().enumerate() {
         by_class[y].push(i);
     }
-    let sim_of =
-        |members: &[usize]| SimilarityMatrix::from_features(&features.gather_rows(members));
-    run_per_class(&sim_of, &by_class, fraction, options, rng)
+    Ok(by_class)
 }
 
 /// Runs the per-class selection bodies, optionally on std scoped threads.
@@ -100,7 +120,7 @@ fn run_per_class(
     fraction: f32,
     options: &CraigOptions,
     rng: &mut Rng64,
-) -> Selection {
+) -> Result<Selection, SelectError> {
     let classes = by_class.len();
     let mut class_rngs: Vec<Rng64> = (0..classes).map(|_| rng.split()).collect();
     let threads = options.threads.max(1);
@@ -109,10 +129,10 @@ fn run_per_class(
         for (members, class_rng) in by_class.iter().zip(class_rngs.iter_mut()) {
             per_class.push(select_one_class_with(
                 sim_of, members, fraction, options, class_rng,
-            ));
+            )?);
         }
     } else {
-        let mut slots: Vec<Option<Selection>> = vec![None; classes];
+        let mut slots: Vec<Option<Result<Selection, SelectError>>> = vec![None; classes];
         let chunk = classes.div_ceil(threads);
         std::thread::scope(|scope| {
             for ((slot_chunk, class_chunk), rng_chunk) in slots
@@ -133,13 +153,16 @@ fn run_per_class(
                 });
             }
         });
-        per_class.extend(slots.into_iter().map(|s| s.expect("slot filled")));
+        for slot in slots {
+            let sel = slot.ok_or(SelectError::Internal("class worker never filled its slot"))?;
+            per_class.push(sel?);
+        }
     }
     let mut merged = Selection::default();
     for sel in per_class {
         merged.extend(sel);
     }
-    merged
+    Ok(merged)
 }
 
 /// Per-class CRAIG over **factored** (outer-product) gradient proxies:
@@ -148,10 +171,11 @@ fn run_per_class(
 /// materialized (see [`SimilarityMatrix::from_factored`]). This is the
 /// memory- and FPGA-faithful path for last-layer gradients.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Same conditions as [`select_per_class`], plus a row-count mismatch
-/// between the two factors.
+/// Same conditions as [`select_per_class`], plus
+/// [`SelectError::LengthMismatch`] on a row-count mismatch between the
+/// two factors.
 pub fn select_per_class_factored(
     residuals: &Tensor,
     features: &Tensor,
@@ -160,22 +184,15 @@ pub fn select_per_class_factored(
     fraction: f32,
     options: &CraigOptions,
     rng: &mut Rng64,
-) -> Selection {
-    assert_eq!(
-        residuals.dim(0),
-        features.dim(0),
-        "factor row counts differ"
-    );
-    assert_eq!(residuals.dim(0), labels.len(), "label count mismatch");
-    assert!(
-        fraction > 0.0 && fraction <= 1.0,
-        "fraction must be in (0, 1], got {fraction}"
-    );
-    assert!(labels.iter().all(|&y| y < classes), "label out of range");
-    let mut by_class = vec![Vec::new(); classes];
-    for (i, &y) in labels.iter().enumerate() {
-        by_class[y].push(i);
+) -> Result<Selection, SelectError> {
+    if residuals.dim(0) != features.dim(0) {
+        return Err(SelectError::LengthMismatch {
+            what: "factor rows",
+            expected: residuals.dim(0),
+            actual: features.dim(0),
+        });
     }
+    let by_class = group_by_class(residuals.dim(0), labels, classes, fraction)?;
     let sim_of = |members: &[usize]| {
         SimilarityMatrix::from_factored(
             &residuals.gather_rows(members),
@@ -193,9 +210,9 @@ fn select_one_class_with(
     fraction: f32,
     options: &CraigOptions,
     rng: &mut Rng64,
-) -> Selection {
+) -> Result<Selection, SelectError> {
     if members.is_empty() {
-        return Selection::default();
+        return Ok(Selection::default());
     }
     let metrics = options.metrics.as_ref();
     if let Some(m) = metrics {
@@ -208,7 +225,7 @@ fn select_one_class_with(
                 m.chunks.inc();
             }
             let sim = sim_of(members);
-            maximize_metered(&sim, k, options.variant, rng, metrics).into_global(members)
+            Ok(maximize_metered(&sim, k, options.variant, rng, metrics)?.into_global(members))
         }
         Some(chunk_size) => {
             let chunk_size = chunk_size.max(2);
@@ -226,11 +243,11 @@ fn select_one_class_with(
                 let k_part = fraction_count(part.len(), fraction);
                 let sim = sim_of(&global);
                 merged.extend(
-                    maximize_metered(&sim, k_part, options.variant, rng, metrics)
+                    maximize_metered(&sim, k_part, options.variant, rng, metrics)?
                         .into_global(&global),
                 );
             }
-            merged
+            Ok(merged)
         }
     }
 }
@@ -263,7 +280,7 @@ mod tests {
     fn respects_fraction_per_class() {
         let (x, y) = toy();
         let mut rng = Rng64::new(0);
-        let sel = select_per_class(&x, &y, 2, 0.2, &CraigOptions::default(), &mut rng);
+        let sel = select_per_class(&x, &y, 2, 0.2, &CraigOptions::default(), &mut rng).unwrap();
         assert_eq!(sel.len(), 4); // ceil(10 * 0.2) per class.
                                   // Selected labels split evenly.
         let c0 = sel.indices.iter().filter(|&&i| y[i] == 0).count();
@@ -274,7 +291,7 @@ mod tests {
     fn selects_cluster_representatives() {
         let (x, y) = toy();
         let mut rng = Rng64::new(1);
-        let sel = select_per_class(&x, &y, 2, 0.2, &CraigOptions::default(), &mut rng);
+        let sel = select_per_class(&x, &y, 2, 0.2, &CraigOptions::default(), &mut rng).unwrap();
         // With 2 picks per class and 2 clusters per class, facility location
         // should cover both clusters of each class.
         let cluster_of = |i: usize| i / 5;
@@ -295,7 +312,7 @@ mod tests {
     fn weights_cover_whole_class() {
         let (x, y) = toy();
         let mut rng = Rng64::new(2);
-        let sel = select_per_class(&x, &y, 2, 0.4, &CraigOptions::default(), &mut rng);
+        let sel = select_per_class(&x, &y, 2, 0.4, &CraigOptions::default(), &mut rng).unwrap();
         let total: f32 = sel.weights.iter().sum();
         assert_eq!(total, 20.0);
     }
@@ -308,7 +325,7 @@ mod tests {
             partition_chunk: Some(5),
             ..CraigOptions::default()
         };
-        let sel = select_per_class(&x, &y, 2, 0.4, &opts, &mut rng);
+        let sel = select_per_class(&x, &y, 2, 0.4, &opts, &mut rng).unwrap();
         assert!(sel.len() >= 4);
         let total: f32 = sel.weights.iter().sum();
         assert_eq!(total, 20.0);
@@ -332,7 +349,8 @@ mod tests {
                 ..CraigOptions::default()
             },
             &mut Rng64::new(7),
-        );
+        )
+        .unwrap();
         let par = select_per_class(
             &x,
             &y,
@@ -343,7 +361,8 @@ mod tests {
                 ..CraigOptions::default()
             },
             &mut Rng64::new(7),
-        );
+        )
+        .unwrap();
         assert_eq!(seq, par);
     }
 
@@ -351,16 +370,46 @@ mod tests {
     fn fraction_one_selects_everything() {
         let (x, y) = toy();
         let mut rng = Rng64::new(4);
-        let sel = select_per_class(&x, &y, 2, 1.0, &CraigOptions::default(), &mut rng);
+        let sel = select_per_class(&x, &y, 2, 1.0, &CraigOptions::default(), &mut rng).unwrap();
         assert_eq!(sel.len(), 20);
     }
 
     #[test]
-    #[should_panic(expected = "fraction must be in")]
     fn rejects_bad_fraction() {
         let (x, y) = toy();
         let mut rng = Rng64::new(5);
-        let _ = select_per_class(&x, &y, 2, 0.0, &CraigOptions::default(), &mut rng);
+        let err = select_per_class(&x, &y, 2, 0.0, &CraigOptions::default(), &mut rng);
+        assert_eq!(err, Err(SelectError::BadFraction(0.0)));
+    }
+
+    #[test]
+    fn rejects_label_out_of_range() {
+        let (x, _) = toy();
+        let bad = vec![0usize; 19].into_iter().chain([7]).collect::<Vec<_>>();
+        let mut rng = Rng64::new(5);
+        let err = select_per_class(&x, &bad, 2, 0.5, &CraigOptions::default(), &mut rng);
+        assert_eq!(
+            err,
+            Err(SelectError::LabelOutOfRange {
+                label: 7,
+                classes: 2
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let (x, _) = toy();
+        let mut rng = Rng64::new(5);
+        let err = select_per_class(&x, &[0, 1], 2, 0.5, &CraigOptions::default(), &mut rng);
+        assert_eq!(
+            err,
+            Err(SelectError::LengthMismatch {
+                what: "labels",
+                expected: 20,
+                actual: 2
+            })
+        );
     }
 
     #[test]
@@ -383,9 +432,10 @@ mod tests {
             }
         }
         let opts = CraigOptions::default();
-        let sel_flat = select_per_class(&flat, &labels, 2, 0.25, &opts, &mut Rng64::new(3));
+        let sel_flat =
+            select_per_class(&flat, &labels, 2, 0.25, &opts, &mut Rng64::new(3)).unwrap();
         let sel_fact =
-            select_per_class_factored(&a, &b, &labels, 2, 0.25, &opts, &mut Rng64::new(3));
+            select_per_class_factored(&a, &b, &labels, 2, 0.25, &opts, &mut Rng64::new(3)).unwrap();
         assert_eq!(sel_flat.indices, sel_fact.indices);
         assert_eq!(sel_flat.weights, sel_fact.weights);
     }
@@ -395,7 +445,7 @@ mod tests {
         let (x, y) = toy();
         let mut rng = Rng64::new(6);
         // Declare 3 classes; class 2 has no members.
-        let sel = select_per_class(&x, &y, 3, 0.2, &CraigOptions::default(), &mut rng);
+        let sel = select_per_class(&x, &y, 3, 0.2, &CraigOptions::default(), &mut rng).unwrap();
         assert_eq!(sel.len(), 4);
     }
 }

@@ -9,7 +9,7 @@
 //! makes the kernel cheap enough for the SmartSSD FPGA.
 
 use crate::metrics::SelectMetrics;
-use crate::Selection;
+use crate::{SelectError, Selection};
 use nessa_tensor::linalg::pairwise_sq_dists;
 use nessa_tensor::rng::Rng64;
 use nessa_tensor::Tensor;
@@ -137,13 +137,17 @@ impl SimilarityMatrix {
         if set.is_empty() {
             return w;
         }
-        let mut position_of = std::collections::HashMap::with_capacity(set.len());
+        // Dense position lookup (first occurrence wins): deterministic and
+        // hash-free, unlike a HashMap (nessa-lint rule D3).
+        let mut position_of = vec![usize::MAX; self.n];
         for (si, &j) in set.iter().enumerate() {
-            position_of.entry(j).or_insert(si);
+            if position_of[j] == usize::MAX {
+                position_of[j] = si;
+            }
         }
         for i in 0..self.n {
-            if let Some(&si) = position_of.get(&i) {
-                w[si] += 1.0;
+            if position_of[i] != usize::MAX {
+                w[position_of[i]] += 1.0;
                 continue;
             }
             let mut best = 0;
@@ -180,13 +184,15 @@ pub enum GreedyVariant {
 /// candidates, and returns the selection with CRAIG weights.
 ///
 /// `k ≥ n` returns all candidates. The RNG is only consulted by
-/// [`GreedyVariant::Stochastic`].
+/// [`GreedyVariant::Stochastic`]. The only error is
+/// [`SelectError::Internal`], reporting a broken greedy invariant (a bug
+/// in this crate, not bad input).
 pub fn maximize(
     sim: &SimilarityMatrix,
     k: usize,
     variant: GreedyVariant,
     rng: &mut Rng64,
-) -> Selection {
+) -> Result<Selection, SelectError> {
     maximize_metered(sim, k, variant, rng, None)
 }
 
@@ -200,23 +206,23 @@ pub fn maximize_metered(
     variant: GreedyVariant,
     rng: &mut Rng64,
     metrics: Option<&SelectMetrics>,
-) -> Selection {
+) -> Result<Selection, SelectError> {
     let n = sim.len();
     if n == 0 || k == 0 {
-        return Selection::default();
+        return Ok(Selection::default());
     }
     if k >= n {
         let indices: Vec<usize> = (0..n).collect();
         let weights = sim.weights(&indices);
-        return Selection::new(indices, weights);
+        return Ok(Selection::new(indices, weights));
     }
     let set = match variant {
-        GreedyVariant::Naive => naive_greedy(sim, k, metrics),
-        GreedyVariant::Lazy => lazy_greedy(sim, k, metrics),
+        GreedyVariant::Naive => naive_greedy(sim, k, metrics)?,
+        GreedyVariant::Lazy => lazy_greedy(sim, k, metrics)?,
         GreedyVariant::Stochastic { epsilon } => stochastic_greedy(sim, k, epsilon, rng, metrics),
     };
     let weights = sim.weights(&set);
-    Selection::new(set, weights)
+    Ok(Selection::new(set, weights))
 }
 
 fn note_pick(metrics: Option<&SelectMetrics>, gain: f32) {
@@ -232,7 +238,11 @@ fn note_evals(metrics: Option<&SelectMetrics>, n: u64) {
     }
 }
 
-fn naive_greedy(sim: &SimilarityMatrix, k: usize, metrics: Option<&SelectMetrics>) -> Vec<usize> {
+fn naive_greedy(
+    sim: &SimilarityMatrix,
+    k: usize,
+    metrics: Option<&SelectMetrics>,
+) -> Result<Vec<usize>, SelectError> {
     let n = sim.len();
     let mut coverage = vec![f32::NEG_INFINITY; n];
     let mut chosen = Vec::with_capacity(k);
@@ -252,12 +262,15 @@ fn naive_greedy(sim: &SimilarityMatrix, k: usize, metrics: Option<&SelectMetrics
         }
         note_evals(metrics, (n - round) as u64);
         note_pick(metrics, best_gain);
-        let j = best.expect("k < n guarantees a candidate");
+        let Some(j) = best else {
+            // k < n makes this unreachable; surface it instead of panicking.
+            return Err(SelectError::Internal("naive greedy ran out of candidates"));
+        };
         in_set[j] = true;
         chosen.push(j);
         absorb_from(sim, j, &mut coverage);
     }
-    chosen
+    Ok(chosen)
 }
 
 /// Gain with `NEG_INFINITY` coverage meaning "uncovered": the first chosen
@@ -267,6 +280,9 @@ fn gain_from(sim: &SimilarityMatrix, j: usize, coverage: &[f32]) -> f32 {
         .iter()
         .zip(coverage.iter())
         .map(|(&s, &c)| {
+            // nessa-lint: allow(f1-float-eq) — exact sentinel comparison:
+            // coverage is initialized to NEG_INFINITY and only ever
+            // overwritten by finite similarities.
             if c == f32::NEG_INFINITY {
                 s
             } else {
@@ -309,7 +325,11 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-fn lazy_greedy(sim: &SimilarityMatrix, k: usize, metrics: Option<&SelectMetrics>) -> Vec<usize> {
+fn lazy_greedy(
+    sim: &SimilarityMatrix,
+    k: usize,
+    metrics: Option<&SelectMetrics>,
+) -> Result<Vec<usize>, SelectError> {
     let n = sim.len();
     let mut coverage = vec![f32::NEG_INFINITY; n];
     let mut chosen = Vec::with_capacity(k);
@@ -323,7 +343,11 @@ fn lazy_greedy(sim: &SimilarityMatrix, k: usize, metrics: Option<&SelectMetrics>
     note_evals(metrics, n as u64);
     let mut in_set = vec![false; n];
     while chosen.len() < k {
-        let top = heap.pop().expect("heap cannot drain before k < n picks");
+        let Some(top) = heap.pop() else {
+            // The heap holds every unchosen candidate; draining before k
+            // picks (k < n) would be a bookkeeping bug.
+            return Err(SelectError::Internal("lazy greedy heap drained early"));
+        };
         if in_set[top.index] {
             continue;
         }
@@ -341,7 +365,7 @@ fn lazy_greedy(sim: &SimilarityMatrix, k: usize, metrics: Option<&SelectMetrics>
             });
         }
     }
-    chosen
+    Ok(chosen)
 }
 
 fn stochastic_greedy(
@@ -420,7 +444,7 @@ mod tests {
     fn greedy_picks_one_per_cluster() {
         let sim = SimilarityMatrix::from_features(&clustered_features());
         let mut rng = Rng64::new(0);
-        let sel = maximize(&sim, 3, GreedyVariant::Naive, &mut rng);
+        let sel = maximize(&sim, 3, GreedyVariant::Naive, &mut rng).unwrap();
         let clusters: Vec<usize> = sel.indices.iter().map(|&i| i / 4).collect();
         let mut sorted = clusters.clone();
         sorted.sort_unstable();
@@ -434,8 +458,8 @@ mod tests {
         let x = Tensor::rand_uniform(&[40, 6], -1.0, 1.0, &mut rng);
         let sim = SimilarityMatrix::from_features(&x);
         for k in [1, 3, 10, 25] {
-            let naive = naive_greedy(&sim, k, None);
-            let lazy = lazy_greedy(&sim, k, None);
+            let naive = naive_greedy(&sim, k, None).unwrap();
+            let lazy = lazy_greedy(&sim, k, None).unwrap();
             // Tie-breaking may differ; the objectives must match exactly
             // up to float noise.
             let fo_n = sim.objective(&naive);
@@ -462,7 +486,7 @@ mod tests {
                 }
             }
         }
-        let greedy = sim.objective(&naive_greedy(&sim, k, None));
+        let greedy = sim.objective(&naive_greedy(&sim, k, None).unwrap());
         assert!(
             greedy >= (1.0 - 1.0 / std::f32::consts::E) * best - 1e-3,
             "greedy {greedy} vs optimum {best}"
@@ -474,7 +498,7 @@ mod tests {
         let mut rng = Rng64::new(3);
         let x = Tensor::rand_uniform(&[60, 4], -1.0, 1.0, &mut rng);
         let sim = SimilarityMatrix::from_features(&x);
-        let exact = sim.objective(&naive_greedy(&sim, 10, None));
+        let exact = sim.objective(&naive_greedy(&sim, 10, None).unwrap());
         let mut worst: f32 = f32::INFINITY;
         for seed in 0..5 {
             let mut r = Rng64::new(seed);
@@ -488,7 +512,7 @@ mod tests {
     fn weights_sum_to_n() {
         let sim = SimilarityMatrix::from_features(&clustered_features());
         let mut rng = Rng64::new(4);
-        let sel = maximize(&sim, 3, GreedyVariant::Lazy, &mut rng);
+        let sel = maximize(&sim, 3, GreedyVariant::Lazy, &mut rng).unwrap();
         let total: f32 = sel.weights.iter().sum();
         assert_eq!(total, 12.0);
         // Balanced clusters ⇒ each medoid represents ~4 points.
@@ -499,8 +523,10 @@ mod tests {
     fn k_zero_and_k_ge_n() {
         let sim = SimilarityMatrix::from_features(&clustered_features());
         let mut rng = Rng64::new(5);
-        assert!(maximize(&sim, 0, GreedyVariant::Naive, &mut rng).is_empty());
-        let all = maximize(&sim, 100, GreedyVariant::Naive, &mut rng);
+        assert!(maximize(&sim, 0, GreedyVariant::Naive, &mut rng)
+            .unwrap()
+            .is_empty());
+        let all = maximize(&sim, 100, GreedyVariant::Naive, &mut rng).unwrap();
         assert_eq!(all.len(), 12);
         let total: f32 = all.weights.iter().sum();
         assert_eq!(total, 12.0);
@@ -510,7 +536,9 @@ mod tests {
     fn empty_candidate_set() {
         let sim = SimilarityMatrix::from_features(&Tensor::zeros(&[0, 3]));
         let mut rng = Rng64::new(6);
-        assert!(maximize(&sim, 5, GreedyVariant::Lazy, &mut rng).is_empty());
+        assert!(maximize(&sim, 5, GreedyVariant::Lazy, &mut rng)
+            .unwrap()
+            .is_empty());
         assert!(sim.is_empty());
     }
 

@@ -12,7 +12,7 @@
 //! shard; a host-side reducer merges.
 
 use crate::facility::{maximize, GreedyVariant, SimilarityMatrix};
-use crate::Selection;
+use crate::{SelectError, Selection};
 use nessa_tensor::rng::Rng64;
 use nessa_tensor::Tensor;
 
@@ -30,10 +30,10 @@ pub fn greedi(
     machines: usize,
     variant: GreedyVariant,
     rng: &mut Rng64,
-) -> Selection {
+) -> Result<Selection, SelectError> {
     let n = features.dim(0);
     if n == 0 || k == 0 {
-        return Selection::default();
+        return Ok(Selection::default());
     }
     if machines <= 1 || n <= 2 * k {
         let sim = SimilarityMatrix::from_features(features);
@@ -48,19 +48,19 @@ pub fn greedi(
         }
         let sub = features.gather_rows(shard);
         let sim = SimilarityMatrix::from_features(&sub);
-        let local = maximize(&sim, k.min(shard.len()), variant, rng);
+        let local = maximize(&sim, k.min(shard.len()), variant, rng)?;
         union.extend(local.indices.iter().map(|&i| shard[i]));
     }
     // Round 2: greedy over the union.
     let sub = features.gather_rows(&union);
     let sim = SimilarityMatrix::from_features(&sub);
-    let merged = maximize(&sim, k.min(union.len()), variant, rng);
+    let merged = maximize(&sim, k.min(union.len()), variant, rng)?;
     let global: Vec<usize> = merged.indices.iter().map(|&i| union[i]).collect();
     // Re-derive weights over the FULL ground set so training weights keep
     // representing every candidate.
     let full_sim = SimilarityMatrix::from_features(features);
     let weights = full_sim.weights(&global);
-    Selection::new(global, weights)
+    Ok(Selection::new(global, weights))
 }
 
 #[cfg(test)]
@@ -84,8 +84,8 @@ mod tests {
         let feats = clustered(120, 6, 1);
         let sim = SimilarityMatrix::from_features(&feats);
         let mut rng = Rng64::new(2);
-        let central = maximize(&sim, 6, GreedyVariant::Lazy, &mut rng);
-        let distributed = greedi(&feats, 6, 4, GreedyVariant::Lazy, &mut rng);
+        let central = maximize(&sim, 6, GreedyVariant::Lazy, &mut rng).unwrap();
+        let distributed = greedi(&feats, 6, 4, GreedyVariant::Lazy, &mut rng).unwrap();
         let fc = sim.objective(&central.indices);
         let fd = sim.objective(&distributed.indices);
         assert!(fd >= 0.9 * fc, "greedi {fd} vs central {fc}");
@@ -95,7 +95,7 @@ mod tests {
     fn greedi_covers_every_cluster() {
         let feats = clustered(120, 6, 3);
         let mut rng = Rng64::new(4);
-        let sel = greedi(&feats, 6, 3, GreedyVariant::Lazy, &mut rng);
+        let sel = greedi(&feats, 6, 3, GreedyVariant::Lazy, &mut rng).unwrap();
         let mut hit: Vec<usize> = sel.indices.iter().map(|&i| i % 6).collect();
         hit.sort_unstable();
         hit.dedup();
@@ -106,7 +106,7 @@ mod tests {
     fn weights_cover_full_ground_set() {
         let feats = clustered(90, 3, 5);
         let mut rng = Rng64::new(6);
-        let sel = greedi(&feats, 3, 3, GreedyVariant::Lazy, &mut rng);
+        let sel = greedi(&feats, 3, 3, GreedyVariant::Lazy, &mut rng).unwrap();
         let total: f32 = sel.weights.iter().sum();
         assert_eq!(total, 90.0);
     }
@@ -115,8 +115,8 @@ mod tests {
     fn single_machine_falls_back_to_greedy() {
         let feats = clustered(40, 4, 7);
         let sim = SimilarityMatrix::from_features(&feats);
-        let a = greedi(&feats, 4, 1, GreedyVariant::Lazy, &mut Rng64::new(8));
-        let b = maximize(&sim, 4, GreedyVariant::Lazy, &mut Rng64::new(8));
+        let a = greedi(&feats, 4, 1, GreedyVariant::Lazy, &mut Rng64::new(8)).unwrap();
+        let b = maximize(&sim, 4, GreedyVariant::Lazy, &mut Rng64::new(8)).unwrap();
         assert_eq!(a.indices, b.indices);
     }
 
@@ -124,8 +124,12 @@ mod tests {
     fn degenerate_inputs() {
         let empty = Tensor::zeros(&[0, 3]);
         let mut rng = Rng64::new(9);
-        assert!(greedi(&empty, 3, 2, GreedyVariant::Naive, &mut rng).is_empty());
+        assert!(greedi(&empty, 3, 2, GreedyVariant::Naive, &mut rng)
+            .unwrap()
+            .is_empty());
         let feats = clustered(10, 2, 10);
-        assert!(greedi(&feats, 0, 2, GreedyVariant::Naive, &mut rng).is_empty());
+        assert!(greedi(&feats, 0, 2, GreedyVariant::Naive, &mut rng)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -119,15 +119,19 @@ pub fn max_min_dist(features: &Tensor, centres: &[usize]) -> f32 {
 fn assignment_weights(features: &Tensor, centres: &[usize]) -> Vec<f32> {
     let n = features.dim(0);
     let mut w = vec![0.0f32; centres.len()];
-    let mut position_of = std::collections::HashMap::with_capacity(centres.len());
+    // Dense position lookup (first occurrence wins): deterministic and
+    // hash-free, unlike a HashMap (nessa-lint rule D3).
+    let mut position_of = vec![usize::MAX; n];
     for (ci, &c) in centres.iter().enumerate() {
-        position_of.entry(c).or_insert(ci);
+        if position_of[c] == usize::MAX {
+            position_of[c] = ci;
+        }
     }
     for i in 0..n {
         // Centres assign to themselves so every weight stays ≥ 1 even
         // under exact-duplicate ties.
-        if let Some(&ci) = position_of.get(&i) {
-            w[ci] += 1.0;
+        if position_of[i] != usize::MAX {
+            w[position_of[i]] += 1.0;
             continue;
         }
         let mut best = 0;

@@ -158,7 +158,7 @@ mod tests {
         let x = blobs();
         let sim = SimilarityMatrix::from_features(&x);
         let mut rng = Rng64::new(1);
-        let greedy = maximize(&sim, 2, GreedyVariant::Lazy, &mut rng);
+        let greedy = maximize(&sim, 2, GreedyVariant::Lazy, &mut rng).unwrap();
         let c_greedy = cost(&x, &greedy.indices);
         let refined = refine(&x, &greedy.indices, 20);
         let c_refined = cost(&x, &refined.indices);

@@ -32,6 +32,61 @@ pub mod random;
 
 pub use metrics::SelectMetrics;
 
+/// Why a selection request could not be satisfied.
+///
+/// The selection kernel runs on the hot path of every epoch, so it never
+/// panics: invalid inputs and broken invariants surface as typed errors
+/// the pipeline can attribute and report (`nessa-lint` rule **P1**
+/// enforces the no-panic discipline mechanically).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectError {
+    /// Two parallel per-candidate arrays disagree on length.
+    LengthMismatch {
+        /// What disagreed (e.g. `"labels"`, `"factor rows"`).
+        what: &'static str,
+        /// Length implied by the feature matrix.
+        expected: usize,
+        /// Length actually provided.
+        actual: usize,
+    },
+    /// Subset fraction outside `(0, 1]`.
+    BadFraction(f32),
+    /// A label at or above the declared class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The declared number of classes.
+        classes: usize,
+    },
+    /// An internal invariant of a greedy maximizer was violated; indicates
+    /// a bug in this crate rather than bad input.
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{what} length mismatch: expected {expected}, got {actual}"
+            ),
+            SelectError::BadFraction(fr) => {
+                write!(f, "subset fraction must be in (0, 1], got {fr}")
+            }
+            SelectError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            SelectError::Internal(msg) => write!(f, "internal selection invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
 /// The number of samples a subset fraction selects from a pool of `n`:
 /// `⌈fraction · n⌉` computed in f64 with a tolerance so that exact
 /// products (e.g. `0.3 × 100`) do not round up through float error,

@@ -24,7 +24,7 @@ proptest! {
         let mut rng = Rng64::new(seed ^ 1);
         let mut prev = 0.0f32;
         for k in 1..=n.min(6) {
-            let sel = maximize(&sim, k, GreedyVariant::Lazy, &mut rng);
+            let sel = maximize(&sim, k, GreedyVariant::Lazy, &mut rng).unwrap();
             let f = sim.objective(&sel.indices);
             prop_assert!(f >= prev - 1e-3 * prev.abs().max(1.0), "k={}: {} < {}", k, f, prev);
             prev = f;
@@ -38,7 +38,8 @@ proptest! {
         let feats = features(n, 4, seed);
         let ys = labels(n, classes, seed ^ 2);
         let mut rng = Rng64::new(seed ^ 3);
-        let sel = select_per_class(&feats, &ys, classes, f, &CraigOptions::default(), &mut rng);
+        let sel =
+            select_per_class(&feats, &ys, classes, f, &CraigOptions::default(), &mut rng).unwrap();
         // Every selected index has a valid label; per-class counts honour
         // fraction_count.
         let mut per_class = vec![0usize; classes];
@@ -67,8 +68,9 @@ proptest! {
         let ones = Tensor::ones(&[n, 1]);
         let ys = labels(n, 2, seed ^ 4);
         let opts = CraigOptions::default();
-        let flat = select_per_class(&a, &ys, 2, 0.5, &opts, &mut Rng64::new(9));
-        let fact = select_per_class_factored(&a, &ones, &ys, 2, 0.5, &opts, &mut Rng64::new(9));
+        let flat = select_per_class(&a, &ys, 2, 0.5, &opts, &mut Rng64::new(9)).unwrap();
+        let fact =
+            select_per_class_factored(&a, &ones, &ys, 2, 0.5, &opts, &mut Rng64::new(9)).unwrap();
         prop_assert_eq!(flat.indices, fact.indices);
     }
 

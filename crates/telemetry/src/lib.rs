@@ -21,9 +21,11 @@
 //! A disabled handle ([`Telemetry::disabled`]) makes every call a no-op
 //! so instrumented code needs no `if` guards.
 
+pub mod clock;
 pub mod json;
 pub mod metrics;
 pub mod parse;
+pub mod phase;
 pub mod sink;
 pub mod span;
 pub mod tree;
@@ -34,12 +36,12 @@ pub use sink::{extract_num_field, extract_str_field, render_timeline};
 pub use span::{AttrValue, SpanRecord};
 pub use tree::SpanTree;
 
+use crate::clock::Instant;
 use std::fs;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// Where telemetry goes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -215,7 +217,7 @@ impl Telemetry {
         Telemetry {
             inner: Some(Arc::new(Inner {
                 mode,
-                created: Instant::now(),
+                created: clock::now(),
                 spans: Mutex::new(Vec::new()),
                 device_events: Mutex::new(Vec::new()),
                 metrics: MetricsRegistry::default(),
@@ -260,7 +262,7 @@ impl Telemetry {
             return SpanGuard {
                 inner: None,
                 record: None,
-                start: Instant::now(),
+                start: clock::now(),
             };
         };
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
@@ -281,7 +283,7 @@ impl Telemetry {
                 wall_secs: 0.0,
                 sim_secs: 0.0,
             }),
-            start: Instant::now(),
+            start: clock::now(),
         }
     }
 
@@ -455,7 +457,7 @@ impl Drop for SpanGuard {
             }
         }
         inner.spans.lock().unwrap().push(rec);
-        *inner.last_close.lock().unwrap() = Some(Instant::now());
+        *inner.last_close.lock().unwrap() = Some(clock::now());
     }
 }
 

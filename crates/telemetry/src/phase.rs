@@ -1,0 +1,51 @@
+//! The registered pipeline phase names.
+//!
+//! `nessa-trace` reports group spans by name: a span whose name is not in
+//! this set silently falls out of the per-phase tables and the critical
+//! path. To make that failure mode impossible to introduce quietly,
+//! library code may only open spans named from this registry
+//! (`nessa-lint` rule **T1**); tests and examples are free to use ad-hoc
+//! names.
+//!
+//! The set mirrors the paper's five pipeline steps (Figure 3) plus the
+//! enclosing epoch span.
+
+/// Every span name library code is allowed to pass to `Telemetry::span`.
+///
+/// Keep this list in sync with `nessa-lint`'s `REGISTERED_PHASES` (a
+/// cross-check test in `crates/lint/tests` asserts equality).
+pub const REGISTERED_PHASES: &[&str] = &[
+    // One training epoch (parent of the five pipeline steps).
+    "epoch",  // (1) Flash → FPGA candidate streaming.
+    "scan",   // (2) Quantized forward + facility-location kernel on the FPGA.
+    "select", // (3) Subset shipment to the host/GPU.
+    "ship",   // (4) GPU-side training on the weighted subset.
+    "train",  // (5) Quantized-weight feedback to the FPGA.
+    "feedback",
+];
+
+/// Whether `name` is a registered phase.
+pub fn is_registered(name: &str) -> bool {
+    REGISTERED_PHASES.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_phases_are_registered() {
+        for name in ["epoch", "scan", "select", "ship", "train", "feedback"] {
+            assert!(is_registered(name), "{name} missing from registry");
+        }
+        assert!(!is_registered("warmup"));
+    }
+
+    #[test]
+    fn registry_has_no_duplicates() {
+        let mut sorted = REGISTERED_PHASES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), REGISTERED_PHASES.len());
+    }
+}

@@ -1,0 +1,79 @@
+//! Approximate float comparison — the approved alternative to `==`.
+//!
+//! Exact `==`/`!=` on floats is almost always a latent bug in numeric
+//! code (accumulation order, FMA contraction, and quantization all
+//! perturb low bits), so `nessa-lint` rule **F1** rejects it in library
+//! crates. Code that genuinely needs a tolerance-based comparison goes
+//! through this module; code that needs an *exact* sentinel comparison
+//! (e.g. against `f32::NEG_INFINITY`) documents that with an inline
+//! `// nessa-lint: allow(f1-float-eq)` suppression instead.
+
+/// Whether `a` and `b` agree within `tol`, using a mixed absolute /
+/// relative criterion: `|a − b| ≤ tol · max(1, |a|, |b|)`.
+///
+/// Two NaNs never compare equal (mirroring IEEE semantics); infinities
+/// of the same sign do.
+///
+/// ```
+/// use nessa_tensor::approx::approx_eq;
+///
+/// assert!(approx_eq(1.0, 1.0 + 1e-7, 1e-6));
+/// assert!(!approx_eq(1.0, 1.1, 1e-6));
+/// ```
+pub fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
+    if a == b {
+        // nessa-lint: allow(f1-float-eq) — the helper itself needs the
+        // exact fast path (covers equal infinities and exact zeros).
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        // NaNs and mismatched infinities are never approximately equal
+        // (∞ − −∞ would otherwise satisfy the scaled tolerance).
+        return false;
+    }
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// [`approx_eq`] for `f64`.
+pub fn approx_eq_f64(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        // nessa-lint: allow(f1-float-eq) — exact fast path, as above.
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Whether two slices agree element-wise within `tol` (and in length).
+pub fn approx_eq_slice(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| approx_eq(x, y, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerates_small_noise() {
+        assert!(approx_eq(100.0, 100.0 + 5e-5, 1e-6));
+        assert!(approx_eq(0.0, 1e-9, 1e-6));
+        assert!(!approx_eq(0.0, 1e-3, 1e-6));
+    }
+
+    #[test]
+    fn handles_non_finite_values() {
+        assert!(approx_eq(f32::INFINITY, f32::INFINITY, 1e-6));
+        assert!(!approx_eq(f32::INFINITY, f32::NEG_INFINITY, 1e-6));
+        assert!(!approx_eq(f32::NAN, f32::NAN, 1e-6));
+        assert!(approx_eq_f64(f64::INFINITY, f64::INFINITY, 1e-12));
+    }
+
+    #[test]
+    fn slice_comparison_checks_length_and_values() {
+        assert!(approx_eq_slice(&[1.0, 2.0], &[1.0, 2.0 + 1e-7], 1e-6));
+        assert!(!approx_eq_slice(&[1.0], &[1.0, 2.0], 1e-6));
+        assert!(!approx_eq_slice(&[1.0], &[1.5], 1e-6));
+    }
+}

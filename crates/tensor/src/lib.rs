@@ -27,6 +27,7 @@
 mod shape;
 mod tensor;
 
+pub mod approx;
 pub mod linalg;
 pub mod ops;
 pub mod rng;

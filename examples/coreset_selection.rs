@@ -29,13 +29,14 @@ fn main() {
     let k = 16;
 
     let sim = SimilarityMatrix::from_features(&feats);
-    let fl = maximize(&sim, k, GreedyVariant::Lazy, &mut rng);
+    let fl = maximize(&sim, k, GreedyVariant::Lazy, &mut rng).unwrap();
     let st = maximize(
         &sim,
         k,
         GreedyVariant::Stochastic { epsilon: 0.1 },
         &mut rng,
-    );
+    )
+    .unwrap();
     let kc = kcenters::select(&feats, k, &mut rng);
     let rnd = random::select(400, k, &mut rng);
     let refined = kmedoids::refine(&feats, &fl.indices, 20);

@@ -31,7 +31,7 @@ fn main() {
     cfg.sizing_threshold = 0.05;
 
     let builder = |rng: &mut Rng64| mlp(&[24, 48, 6], rng);
-    let report = run_policy(&Policy::Nessa(cfg), &train, &test, 30, 32, 1, &builder);
+    let report = run_policy(&Policy::Nessa(cfg), &train, &test, 30, 32, 1, &builder).unwrap();
 
     println!("epoch  pool  subset  train-loss  test-acc");
     for e in &report.epochs {

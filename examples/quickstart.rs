@@ -26,14 +26,14 @@ fn main() {
     let builder = |rng: &mut Rng64| mlp(&[train.dim(), 96, train.classes()], rng);
 
     // Full-data training ("Goal" in the paper).
-    let goal = run_policy(&Policy::Goal, &train, &test, epochs, 32, 7, &builder);
+    let goal = run_policy(&Policy::Goal, &train, &test, epochs, 32, 7, &builder).unwrap();
     println!("{goal}");
 
     // NeSSA: 28 % subsets (the paper's Table-2 operating point), selected
     // near-storage with quantized feedback, subset biasing and
     // partitioning all enabled.
     let cfg = NessaConfig::new(0.28, epochs);
-    let nessa = run_policy(&Policy::Nessa(cfg), &train, &test, epochs, 32, 7, &builder);
+    let nessa = run_policy(&Policy::Nessa(cfg), &train, &test, epochs, 32, 7, &builder).unwrap();
     println!("{nessa}");
 
     let t = nessa.traffic;

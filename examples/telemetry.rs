@@ -38,7 +38,7 @@ fn main() {
     let target = mlp(&[train.dim(), 32, train.classes()], &mut rng);
     let selector = mlp(&[train.dim(), 32, train.classes()], &mut rng);
     let mut pipeline = NessaPipeline::new(cfg, target, selector, train, test);
-    let report = pipeline.run();
+    let report = pipeline.run().unwrap();
 
     println!("{report}");
     println!();

@@ -32,7 +32,8 @@
 //! let report = run_policy(
 //!     &policy, &train, &test, 5, 64, 42,
 //!     &|rng: &mut Rng64| mlp(&[32, 64, 10], rng),
-//! );
+//! )
+//! .unwrap();
 //! println!("{report}");
 //! assert_eq!(report.epochs.len(), 5);
 //! ```

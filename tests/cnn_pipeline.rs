@@ -38,7 +38,8 @@ fn cnn_target_trains_through_the_full_pipeline() {
         16,
         4,
         &builder,
-    );
+    )
+    .unwrap();
     assert_eq!(report.epochs.len(), 6);
     // Traffic accounting works for the conv path too.
     assert!(report.traffic.ssd_to_fpga > 0);
@@ -73,8 +74,8 @@ fn cnn_and_mlp_share_the_policy_interface() {
     let cnn = move |rng: &mut Rng64| small_cnn_on_flat(dims, 2, 2, rng);
     let mlp = |rng: &mut Rng64| nessa::nn::models::mlp(&[16, 8, 2], rng);
     for policy in [Policy::Goal, Policy::Craig { fraction: 0.5 }] {
-        let a = run_policy(&policy, &train, &test, 2, 16, 5, &cnn);
-        let b = run_policy(&policy, &train, &test, 2, 16, 5, &mlp);
+        let a = run_policy(&policy, &train, &test, 2, 16, 5, &cnn).unwrap();
+        let b = run_policy(&policy, &train, &test, 2, 16, 5, &mlp).unwrap();
         assert_eq!(a.epochs.len(), 2);
         assert_eq!(b.epochs.len(), 2);
     }

@@ -36,7 +36,7 @@ fn builder(rng: &mut Rng64) -> Network {
 #[test]
 fn nessa_tracks_full_data_accuracy_within_margin() {
     let (train, test) = dataset();
-    let goal = run_policy(&Policy::Goal, &train, &test, EPOCHS, BATCH, 5, &builder);
+    let goal = run_policy(&Policy::Goal, &train, &test, EPOCHS, BATCH, 5, &builder).unwrap();
     let nessa = run_policy(
         &Policy::Nessa(NessaConfig::new(0.3, EPOCHS)),
         &train,
@@ -45,7 +45,8 @@ fn nessa_tracks_full_data_accuracy_within_margin() {
         BATCH,
         5,
         &builder,
-    );
+    )
+    .unwrap();
     let gap = goal.best_accuracy() - nessa.best_accuracy();
     assert!(
         goal.best_accuracy() > 0.75,
@@ -70,7 +71,8 @@ fn nessa_beats_kcenters_at_small_subsets() {
         BATCH,
         6,
         &builder,
-    );
+    )
+    .unwrap();
     let kc = run_policy(
         &Policy::KCenters { fraction: 0.1 },
         &train,
@@ -79,7 +81,8 @@ fn nessa_beats_kcenters_at_small_subsets() {
         BATCH,
         6,
         &builder,
-    );
+    )
+    .unwrap();
     assert!(
         nessa.best_accuracy() >= kc.best_accuracy() - 0.02,
         "nessa {} vs kcenters {}",
@@ -99,7 +102,8 @@ fn near_storage_traffic_is_reduced() {
         BATCH,
         7,
         &builder,
-    );
+    )
+    .unwrap();
     let t = nessa.traffic;
     // Interconnect traffic (subset + feedback) must be well below what
     // staying on-board avoided.
@@ -127,7 +131,8 @@ fn subset_biasing_and_sizing_compose() {
         BATCH,
         8,
         &builder,
-    );
+    )
+    .unwrap();
     let first = report.epochs.first().unwrap();
     let last = report.epochs.last().unwrap();
     assert!(last.pool_size < first.pool_size, "pool never pruned");
@@ -147,7 +152,8 @@ fn parallel_selection_matches_sequential() {
         BATCH,
         11,
         &builder,
-    );
+    )
+    .unwrap();
     let par = run_policy(
         &Policy::Nessa(NessaConfig::new(0.3, 4).with_threads(4)),
         &train,
@@ -156,7 +162,8 @@ fn parallel_selection_matches_sequential() {
         BATCH,
         11,
         &builder,
-    );
+    )
+    .unwrap();
     assert_eq!(seq.accuracy_curve(), par.accuracy_curve());
     assert_eq!(seq.traffic, par.traffic);
 }
@@ -173,8 +180,9 @@ fn full_run_is_deterministic() {
         BATCH,
         9,
         &builder,
-    );
-    let b = run_policy(&Policy::Nessa(cfg), &train, &test, 5, BATCH, 9, &builder);
+    )
+    .unwrap();
+    let b = run_policy(&Policy::Nessa(cfg), &train, &test, 5, BATCH, 9, &builder).unwrap();
     assert_eq!(a.accuracy_curve(), b.accuracy_curve());
     assert_eq!(a.traffic, b.traffic);
     assert_eq!(a.to_csv(), b.to_csv());
@@ -191,7 +199,8 @@ fn random_baseline_is_worse_or_equal_on_redundant_data() {
         BATCH,
         10,
         &builder,
-    );
+    )
+    .unwrap();
     let rand = run_policy(
         &Policy::Random { fraction: 0.15 },
         &train,
@@ -200,7 +209,8 @@ fn random_baseline_is_worse_or_equal_on_redundant_data() {
         BATCH,
         10,
         &builder,
-    );
+    )
+    .unwrap();
     // Informative selection should not lose to random by any real margin.
     assert!(
         nessa.best_accuracy() >= rand.best_accuracy() - 0.04,

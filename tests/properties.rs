@@ -54,7 +54,7 @@ proptest! {
     fn facility_weights_sum_to_pool(feats in small_features(), k in 1usize..8, seed in any::<u64>()) {
         let sim = SimilarityMatrix::from_features(&feats);
         let mut rng = Rng64::new(seed);
-        let sel = maximize(&sim, k, GreedyVariant::Lazy, &mut rng);
+        let sel = maximize(&sim, k, GreedyVariant::Lazy, &mut rng).unwrap();
         let total: f32 = sel.weights.iter().sum();
         prop_assert!((total - sim.len() as f32).abs() < 1e-3);
         prop_assert!(sel.weights.iter().all(|&w| w >= 1.0));
@@ -70,8 +70,8 @@ proptest! {
         let sim = SimilarityMatrix::from_features(&feats);
         let mut rng = Rng64::new(0);
         let k = k.min(sim.len());
-        let lazy = maximize(&sim, k, GreedyVariant::Lazy, &mut rng);
-        let naive = maximize(&sim, k, GreedyVariant::Naive, &mut rng);
+        let lazy = maximize(&sim, k, GreedyVariant::Lazy, &mut rng).unwrap();
+        let naive = maximize(&sim, k, GreedyVariant::Naive, &mut rng).unwrap();
         let fl = sim.objective(&lazy.indices);
         let fn_ = sim.objective(&naive.indices);
         prop_assert!((fl - fn_).abs() <= 1e-2 * fn_.abs().max(1.0),

@@ -31,7 +31,8 @@ fn pipeline_survives_label_noise() {
         32,
         2,
         &builder,
-    );
+    )
+    .unwrap();
     let dirty = run_policy(
         &Policy::Nessa(NessaConfig::new(0.3, 10)),
         &noisy,
@@ -40,7 +41,8 @@ fn pipeline_survives_label_noise() {
         32,
         2,
         &builder,
-    );
+    )
+    .unwrap();
     // Noise hurts but must not collapse training (test labels are clean).
     assert!(
         clean.best_accuracy() > 0.8,
@@ -70,8 +72,9 @@ fn distributed_selection_matches_centralized_quality() {
     let feats = train.features();
     let sim = SimilarityMatrix::from_features(feats);
     let mut rng = Rng64::new(7);
-    let central = nessa::select::facility::maximize(&sim, 30, GreedyVariant::Lazy, &mut rng);
-    let distributed = greedi(feats, 30, 4, GreedyVariant::Lazy, &mut rng);
+    let central =
+        nessa::select::facility::maximize(&sim, 30, GreedyVariant::Lazy, &mut rng).unwrap();
+    let distributed = greedi(feats, 30, 4, GreedyVariant::Lazy, &mut rng).unwrap();
     let fc = sim.objective(&central.indices);
     let fd = sim.objective(&distributed.indices);
     assert!(fd >= 0.92 * fc, "distributed {fd} vs centralized {fc}");
@@ -94,7 +97,7 @@ fn weight_temper_extremes_both_train() {
     for temper in [0.0f32, 0.5, 1.0] {
         let mut cfg = NessaConfig::new(0.25, 8);
         cfg.weight_temper = temper;
-        let r = run_policy(&Policy::Nessa(cfg), &train, &test, 8, 32, 3, &builder);
+        let r = run_policy(&Policy::Nessa(cfg), &train, &test, 8, 32, 3, &builder).unwrap();
         assert!(
             r.best_accuracy() > 0.5,
             "temper {temper}: accuracy {}",
