@@ -47,8 +47,10 @@ fn main() {
     println!();
     // A live one-epoch timeline at CIFAR-10 scale.
     let mut dev = SmartSsd::new(config);
-    dev.install_dataset(50_000, 3_000);
-    dev.read_records_to_fpga(50_000, 3_000);
+    dev.install_dataset(50_000, 3_000)
+        .expect("fault-free device");
+    dev.read_records_to_fpga(50_000, 3_000)
+        .expect("fault-free device");
     let profile = KernelProfile {
         samples: 50_000,
         forward_macs_per_sample: 640,
@@ -57,8 +59,10 @@ fn main() {
         k_per_chunk: 128,
     };
     dev.run_selection(&profile).expect("chunk fits");
-    dev.send_subset_to_host(14_000, 3_000);
-    dev.receive_feedback(272_000 / 4);
+    dev.send_subset_to_host(14_000, 3_000)
+        .expect("fault-free device");
+    dev.receive_feedback(272_000 / 4)
+        .expect("fault-free device");
     println!("One install + one epoch at CIFAR-10 scale:");
     print!("{}", dev.trace());
     println!("{}", dev.energy());

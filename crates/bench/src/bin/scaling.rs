@@ -39,7 +39,9 @@ fn main() {
     let mut baseline = None;
     for drives in [1usize, 2, 4, 8] {
         let mut cluster = SsdCluster::new(drives, SmartSsdConfig::default());
-        let scan = cluster.parallel_scan(w.samples, w.bytes_per_sample);
+        let scan = cluster
+            .parallel_scan(w.samples, w.bytes_per_sample)
+            .expect("fault-free cluster");
         let chunk =
             KernelProfile::max_chunk_for(&SmartSsdConfig::default().fpga, w.classes).min(457);
         let profile = KernelProfile {
@@ -50,10 +52,14 @@ fn main() {
             k_per_chunk: 128,
         };
         let select = cluster.parallel_select(&profile).expect("chunk fits");
-        // GreeDi round 1→2: each drive ships its local picks (subset/drives),
-        // the merged subset then goes to the GPU (charged to drive 0's link).
-        let gather = cluster.gather_selections(subset / drives as u64, w.bytes_per_sample);
-        let feedback = cluster.broadcast_feedback(25_600_000 / 4);
+        // GreeDi round 1→2: each drive ships its local picks (its share of
+        // the subset), the merged set then goes to the GPU.
+        let gather = cluster
+            .gather_selections(subset, w.bytes_per_sample)
+            .expect("fault-free cluster");
+        let feedback = cluster
+            .broadcast_feedback(25_600_000 / 4)
+            .expect("fault-free cluster");
         let total = scan + select + gather + feedback;
         let speedup = *baseline.get_or_insert(total) / total;
         if json {

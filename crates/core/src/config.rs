@@ -1,6 +1,8 @@
 //! Pipeline configuration.
 
+use crate::retry::RetryPolicy;
 use nessa_select::facility::GreedyVariant;
+use nessa_smartssd::FaultPlan;
 use nessa_telemetry::TelemetrySettings;
 
 /// Configuration of a NeSSA training run.
@@ -76,6 +78,15 @@ pub struct NessaConfig {
     /// closing before the pipeline counts as wedged (see
     /// [`crate::health::HealthMonitor`]).
     pub stall_budget_secs: f64,
+    /// SmartSSDs in the simulated cluster (1 = the paper's single-drive
+    /// setup; more shards the scan/select phases).
+    pub drives: usize,
+    /// Retry policy for failed device operations. Single-wait backoff is
+    /// additionally clamped to `stall_budget_secs` at run time.
+    pub retry: RetryPolicy,
+    /// Deterministic fault schedules armed per drive before the run
+    /// (`(drive index, plan)` pairs; out-of-range indexes are ignored).
+    pub fault_plans: Vec<(usize, FaultPlan)>,
 }
 
 impl NessaConfig {
@@ -109,6 +120,9 @@ impl NessaConfig {
             seed: 42,
             telemetry: TelemetrySettings::off(),
             stall_budget_secs: 30.0,
+            drives: 1,
+            retry: RetryPolicy::default(),
+            fault_plans: Vec::new(),
         }
     }
 
@@ -182,6 +196,30 @@ impl NessaConfig {
         self
     }
 
+    /// Sets the number of SmartSSDs in the simulated cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drives == 0`.
+    pub fn with_drives(mut self, drives: usize) -> Self {
+        assert!(drives > 0, "a cluster needs at least one drive");
+        self.drives = drives;
+        self
+    }
+
+    /// Sets the retry policy for failed device operations.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms a deterministic fault schedule on drive `drive` (repeatable;
+    /// out-of-range indexes are ignored at run time).
+    pub fn with_fault_plan(mut self, drive: usize, plan: FaultPlan) -> Self {
+        self.fault_plans.push((drive, plan));
+        self
+    }
+
     /// The §3.2.3 partition chunk size: selecting `m` (one mini-batch) per
     /// chunk at the current fraction needs chunks of `m / fraction`.
     pub fn partition_chunk(&self, fraction: f32) -> usize {
@@ -219,6 +257,27 @@ mod tests {
         assert_eq!(cfg.threads, 1);
         assert_eq!(cfg.stall_budget_secs, 5.0);
         assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn fault_builders_accumulate() {
+        let cfg = NessaConfig::new(0.3, 10)
+            .with_drives(2)
+            .with_retry(RetryPolicy {
+                max_attempts: 5,
+                ..RetryPolicy::default()
+            })
+            .with_fault_plan(0, FaultPlan::none().with_read_error(1, 2))
+            .with_fault_plan(1, FaultPlan::none().with_dropout_after(3));
+        assert_eq!(cfg.drives, 2);
+        assert_eq!(cfg.retry.max_attempts, 5);
+        assert_eq!(cfg.fault_plans.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one drive")]
+    fn rejects_zero_drives() {
+        let _ = NessaConfig::new(0.5, 10).with_drives(0);
     }
 
     #[test]

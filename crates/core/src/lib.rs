@@ -34,6 +34,7 @@ pub mod pipeline;
 pub mod policy;
 pub mod proxy;
 pub mod report;
+pub mod retry;
 pub mod sizing;
 pub mod timing;
 pub mod trainer;
@@ -44,3 +45,4 @@ pub use health::{HealthMonitor, HealthStatus};
 pub use pipeline::NessaPipeline;
 pub use policy::{run_policy, Policy};
 pub use report::{EpochRecord, RunReport};
+pub use retry::{degrade, Degraded, RetryPolicy, Rung};

@@ -1,4 +1,12 @@
 //! The NeSSA near-storage training pipeline (paper §3, Figure 3).
+//!
+//! The device path can fail (see [`nessa_smartssd::fault`]); every
+//! storage phase runs under the degradation ladder of [`crate::retry`]:
+//! transient faults are retried with sim-clock backoff, dead drives are
+//! evicted and the shards rebalance, a dead kernel path degrades to a
+//! staged host read + host-side selection, and if even that is out the
+//! round falls back to seeded random selection. Every rung is surfaced
+//! through the [`HealthMonitor`] fault counters.
 
 use crate::biasing::LossTracker;
 use crate::config::NessaConfig;
@@ -6,6 +14,7 @@ use crate::error::PipelineError;
 use crate::health::HealthMonitor;
 use crate::proxy::gradient_proxies;
 use crate::report::{EpochRecord, RunReport};
+use crate::retry::RetryPolicy;
 use crate::sizing::SubsetSizer;
 use crate::trainer::{evaluate, train_epoch_metered, TrainMetrics};
 use nessa_data::Dataset;
@@ -13,18 +22,62 @@ use nessa_nn::models::Network;
 use nessa_nn::optim::{MultiStepLr, Sgd, SgdConfig};
 use nessa_quant::QuantizedModel;
 use nessa_select::craig::{select_per_class_factored, CraigOptions};
-use nessa_select::{SelectMetrics, Selection};
+use nessa_select::{random, SelectError, SelectMetrics, Selection};
 use nessa_smartssd::fpga::KernelProfile;
-use nessa_smartssd::{SmartSsd, SmartSsdConfig};
+use nessa_smartssd::{ClusterError, DeviceError, SmartSsdConfig, SsdCluster};
 use nessa_telemetry::{DeviceEvent, Telemetry};
 use nessa_tensor::rng::Rng64;
+
+/// Runs one cluster phase under the retry policy. Offline drives are
+/// evicted on the spot (the shard layout rebalances; no retry budget is
+/// consumed — eviction is repair, not retry); transient faults charge a
+/// deterministic backoff to every surviving drive's simulated clock and
+/// try again. Anything else — and an emptied cluster — surfaces to the
+/// caller.
+fn recover<T>(
+    cluster: &mut SsdCluster,
+    retry: &RetryPolicy,
+    health: &HealthMonitor,
+    telemetry: &Telemetry,
+    epoch: usize,
+    mut op: impl FnMut(&mut SsdCluster) -> Result<T, ClusterError>,
+) -> Result<T, ClusterError> {
+    let mut attempts = 1u32;
+    loop {
+        match op(cluster) {
+            Ok(v) => return Ok(v),
+            Err(e) if matches!(e.error, DeviceError::Offline) => {
+                if cluster.evict_drive(e.drive) {
+                    health.note_drive_evicted(cluster.len());
+                }
+                if cluster.is_empty() {
+                    return Err(e);
+                }
+            }
+            Err(e) if e.error.is_transient() && attempts < retry.max_attempts.max(1) => {
+                let backoff = retry.backoff_secs(attempts - 1);
+                let mut span = telemetry
+                    .span("retry")
+                    .with_attr("epoch", epoch)
+                    .with_attr("attempt", attempts)
+                    .with_attr("drive", e.drive);
+                span.add_sim_secs(backoff);
+                cluster.stall_all(backoff);
+                health.note_retry();
+                attempts += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
 
 /// The assembled SmartSSD+GPU training loop.
 ///
 /// The pipeline owns the **target model** (trained on the GPU side), the
 /// **selector model** (the structurally-identical network whose weights
-/// live on the FPGA as int8), the simulated [`SmartSsd`], and the train /
-/// test datasets.
+/// live on the FPGA as int8), the simulated [`SsdCluster`]
+/// ([`NessaConfig::drives`] drives; one by default), and the train / test
+/// datasets.
 ///
 /// Each epoch follows the paper's five steps: P2P-read the candidate pool
 /// to the FPGA, run the selection kernel (quantized forward → gradient
@@ -39,7 +92,7 @@ pub struct NessaPipeline {
     selector: Network,
     train: Dataset,
     test: Dataset,
-    device: SmartSsd,
+    device: SsdCluster,
     telemetry: Telemetry,
 }
 
@@ -78,13 +131,17 @@ impl NessaPipeline {
         assert_eq!(train.dim(), test.dim(), "train/test feature dims differ");
         assert_eq!(train.classes(), test.classes(), "train/test classes differ");
         let telemetry = Telemetry::new(&config.telemetry);
+        let mut device = SsdCluster::new(config.drives.max(1), SmartSsdConfig::default());
+        for (drive, plan) in &config.fault_plans {
+            device.inject_faults(*drive, plan.clone());
+        }
         Self {
             config,
             target,
             selector,
             train,
             test,
-            device: SmartSsd::new(SmartSsdConfig::default()),
+            device,
             telemetry,
         }
     }
@@ -95,7 +152,10 @@ impl NessaPipeline {
     ///
     /// [`PipelineError::Select`] if the selection kernel rejects its
     /// inputs, [`PipelineError::Kernel`] if a selection chunk exceeds the
-    /// FPGA's on-chip memory (enable partitioning or shrink the chunk).
+    /// FPGA's on-chip memory (enable partitioning or shrink the chunk),
+    /// [`PipelineError::Drive`] for a device fault the degradation ladder
+    /// could not absorb, and [`PipelineError::AllDrivesLost`] once every
+    /// drive has been evicted.
     pub fn run(&mut self) -> Result<RunReport, PipelineError> {
         let cfg = self.config.clone();
         let n = self.train.len();
@@ -127,6 +187,10 @@ impl NessaPipeline {
         let select_metrics = SelectMetrics::from_telemetry(&self.telemetry);
         let train_metrics = TrainMetrics::from_telemetry(&self.telemetry);
         let mut health = HealthMonitor::new(&self.telemetry, cfg.epochs, cfg.stall_budget_secs);
+        health.set_drives_alive(self.device.len());
+        // Backoff stays inside the stall budget so a retrying pipeline
+        // never looks wedged to the heartbeat.
+        let retry = cfg.retry.bounded_by(cfg.stall_budget_secs);
         let mut fraction = cfg.subset_fraction;
         for epoch in 0..cfg.epochs {
             let lr = schedule.lr_at(epoch);
@@ -134,24 +198,97 @@ impl NessaPipeline {
             let mut select_secs = 0.0;
             let mut io_secs = 0.0;
             if epoch % cfg.select_every == 0 || selection.is_empty() {
-                let pool: Vec<usize> = if cfg.subset_biasing {
+                let mut pool: Vec<usize> = if cfg.subset_biasing {
                     tracker.active_pool().to_vec()
                 } else {
                     (0..n).collect()
                 };
+                let record_bytes = self.train.bytes_per_sample() as u64;
+                // Set when the P2P/kernel path is out and the pool was
+                // staged to the host instead; selection math then runs
+                // host-side and the ship phase is free.
+                let mut on_host = false;
                 // (1) Stream the candidate pool from flash to the FPGA.
-                {
+                let scanned = {
                     let mut scan = self
                         .telemetry
                         .span("scan")
                         .with_attr("epoch", epoch)
                         .with_attr("records", pool.len());
-                    let secs = self.device.read_records_to_fpga(
-                        pool.len() as u64,
-                        self.train.bytes_per_sample() as u64,
+                    let r = recover(
+                        &mut self.device,
+                        &retry,
+                        &health,
+                        &self.telemetry,
+                        epoch,
+                        |c| c.parallel_scan(pool.len() as u64, record_bytes),
                     );
-                    scan.add_sim_secs(secs);
-                    io_secs += secs;
+                    if let Ok(secs) = &r {
+                        scan.add_sim_secs(*secs);
+                    }
+                    r
+                };
+                match scanned {
+                    Ok(secs) => io_secs += secs,
+                    Err(_) => {
+                        if self.device.is_empty() {
+                            return Err(PipelineError::AllDrivesLost {
+                                evicted: self.device.evicted(),
+                            });
+                        }
+                        // P2P path out beyond recovery: degrade to the
+                        // conventional staged read through the host.
+                        on_host = true;
+                        health.note_fallback_host();
+                        let mut fb = self
+                            .telemetry
+                            .span("fallback")
+                            .with_attr("epoch", epoch)
+                            .with_attr("rung", "host");
+                        match recover(
+                            &mut self.device,
+                            &retry,
+                            &health,
+                            &self.telemetry,
+                            epoch,
+                            |c| c.conventional_read_to_host(pool.len() as u64, record_bytes),
+                        ) {
+                            Ok(secs) => {
+                                fb.add_sim_secs(secs);
+                                io_secs += secs;
+                            }
+                            Err(e) => {
+                                // No path left to the data at all.
+                                return Err(if self.device.is_empty() {
+                                    PipelineError::AllDrivesLost {
+                                        evicted: self.device.evicted(),
+                                    }
+                                } else {
+                                    e.into()
+                                });
+                            }
+                        }
+                    }
+                }
+                // Corrupt records detected during the scan cannot join the
+                // candidate pool: count them and drop that many (chosen
+                // from the run seed; the simulation does not track which
+                // physical records a plan corrupted), keeping at least one.
+                let bad = self.device.take_quarantined();
+                if bad > 0 {
+                    health.note_quarantined(bad);
+                    let drop_n = (bad as usize).min(pool.len().saturating_sub(1));
+                    if drop_n > 0 {
+                        let mut keep = vec![true; pool.len()];
+                        for i in rng.sample_indices(pool.len(), drop_n) {
+                            keep[i] = false;
+                        }
+                        pool = pool
+                            .iter()
+                            .zip(&keep)
+                            .filter_map(|(&i, &k)| k.then_some(i))
+                            .collect();
+                    }
                 }
                 // (2) Quantized forward pass → last-layer gradient proxies
                 // (outer-product space, compared via the factored distance
@@ -172,20 +309,6 @@ impl NessaPipeline {
                     threads: cfg.threads,
                     metrics: Some(select_metrics.clone()),
                 };
-                let mut local = select_per_class_factored(
-                    &proxies.residuals,
-                    &proxies.features,
-                    &pool_labels,
-                    self.train.classes(),
-                    fraction,
-                    &opts,
-                    &mut rng,
-                )?;
-                // Temper the medoid weights (see NessaConfig::weight_temper).
-                for w in &mut local.weights {
-                    *w = w.powf(cfg.weight_temper);
-                }
-                selection = local.into_global(&pool);
                 // Charge the kernel's simulated time.
                 // The kernel compares outer-product gradients through the
                 // ‖a‖²‖b‖² − 2(a·a')(b·b') factorization, so its per-pair
@@ -209,24 +332,152 @@ impl NessaPipeline {
                     }),
                     k_per_chunk: cfg.batch_size,
                 };
-                let kernel_secs = self.device.run_selection(&profile)?;
+                let mut kernel_secs = 0.0;
+                // Set when even the staged host read is out: the pool is
+                // still resident on the FPGA from the scan, so the round
+                // degrades to seeded random picks shipped the normal way.
+                let mut force_random = false;
+                if !on_host {
+                    match recover(
+                        &mut self.device,
+                        &retry,
+                        &health,
+                        &self.telemetry,
+                        epoch,
+                        |c| c.parallel_select(&profile),
+                    ) {
+                        Ok(secs) => kernel_secs = secs,
+                        Err(e) => {
+                            if self.device.is_empty() {
+                                return Err(PipelineError::AllDrivesLost {
+                                    evicted: self.device.evicted(),
+                                });
+                            }
+                            if !e.error.is_transient() {
+                                // A chunk that does not fit is a config
+                                // problem, not a fault to degrade around.
+                                return Err(e.into());
+                            }
+                            // Kernel path out beyond recovery: stage the
+                            // pool to the host and select there.
+                            health.note_fallback_host();
+                            let mut fb = self
+                                .telemetry
+                                .span("fallback")
+                                .with_attr("epoch", epoch)
+                                .with_attr("rung", "host");
+                            match recover(
+                                &mut self.device,
+                                &retry,
+                                &health,
+                                &self.telemetry,
+                                epoch,
+                                |c| c.conventional_read_to_host(pool.len() as u64, record_bytes),
+                            ) {
+                                Ok(secs) => {
+                                    on_host = true;
+                                    fb.add_sim_secs(secs);
+                                    io_secs += secs;
+                                }
+                                Err(_) => {
+                                    if self.device.is_empty() {
+                                        return Err(PipelineError::AllDrivesLost {
+                                            evicted: self.device.evicted(),
+                                        });
+                                    }
+                                    force_random = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                // (3) The selection math: facility location when any
+                // compute path is available (device and host produce the
+                // same picks — the simulation models time, not arithmetic),
+                // seeded random picks as the last rung.
+                let maybe = if force_random {
+                    None
+                } else {
+                    match select_per_class_factored(
+                        &proxies.residuals,
+                        &proxies.features,
+                        &pool_labels,
+                        self.train.classes(),
+                        fraction,
+                        &opts,
+                        &mut rng,
+                    ) {
+                        Ok(local) => Some(local),
+                        // An internal invariant breach is a selector bug;
+                        // degrade the round rather than lose the run.
+                        Err(SelectError::Internal(_)) => None,
+                        Err(e) => return Err(e.into()),
+                    }
+                };
+                let local = match maybe {
+                    Some(mut local) => {
+                        // Temper the medoid weights (see
+                        // NessaConfig::weight_temper).
+                        for w in &mut local.weights {
+                            *w = w.powf(cfg.weight_temper);
+                        }
+                        local
+                    }
+                    None => {
+                        health.note_fallback_random();
+                        let mut fb = self
+                            .telemetry
+                            .span("fallback")
+                            .with_attr("epoch", epoch)
+                            .with_attr("rung", "random");
+                        let sel = random::select_per_class_checked(
+                            &pool_labels,
+                            self.train.classes(),
+                            fraction,
+                            &mut rng,
+                        )?;
+                        fb.set_attr("subset", sel.len());
+                        sel
+                    }
+                };
+                selection = local.into_global(&pool);
                 select_span.add_sim_secs(kernel_secs);
                 select_span.set_attr("subset", selection.len());
                 select_span.finish();
                 select_secs += kernel_secs;
-                // (3) Ship the subset to the GPU.
+                // (4) Ship the subset to the GPU. When the round already
+                // staged the pool to the host, the subset is there — no
+                // further transfer.
                 {
                     let mut ship = self
                         .telemetry
                         .span("ship")
                         .with_attr("epoch", epoch)
                         .with_attr("records", selection.len());
-                    let secs = self.device.send_subset_to_host(
-                        selection.len() as u64,
-                        self.train.bytes_per_sample() as u64,
-                    );
-                    ship.add_sim_secs(secs);
-                    io_secs += secs;
+                    if !on_host {
+                        match recover(
+                            &mut self.device,
+                            &retry,
+                            &health,
+                            &self.telemetry,
+                            epoch,
+                            |c| c.gather_selections(selection.len() as u64, record_bytes),
+                        ) {
+                            Ok(secs) => {
+                                ship.add_sim_secs(secs);
+                                io_secs += secs;
+                            }
+                            Err(e) => {
+                                return Err(if self.device.is_empty() {
+                                    PipelineError::AllDrivesLost {
+                                        evicted: self.device.evicted(),
+                                    }
+                                } else {
+                                    e.into()
+                                });
+                            }
+                        }
+                    }
                 }
             }
             // (4) Train the target model on the subset.
@@ -248,14 +499,35 @@ impl NessaPipeline {
                     Some(&train_metrics),
                 )
             };
-            // Feedback: quantize weights, send to FPGA, refresh selector.
+            // Feedback: quantize weights, broadcast to every live drive,
+            // refresh the selector.
             if cfg.feedback {
                 let mut feedback = self.telemetry.span("feedback").with_attr("epoch", epoch);
                 let snap = QuantizedModel::from_network(&mut self.target);
                 feedback.set_attr("bytes", snap.payload_bytes());
-                let secs = self.device.receive_feedback(snap.payload_bytes() as u64);
-                feedback.add_sim_secs(secs);
-                io_secs += secs;
+                let payload = snap.payload_bytes() as u64;
+                match recover(
+                    &mut self.device,
+                    &retry,
+                    &health,
+                    &self.telemetry,
+                    epoch,
+                    |c| c.broadcast_feedback(payload),
+                ) {
+                    Ok(secs) => {
+                        feedback.add_sim_secs(secs);
+                        io_secs += secs;
+                    }
+                    Err(e) => {
+                        return Err(if self.device.is_empty() {
+                            PipelineError::AllDrivesLost {
+                                evicted: self.device.evicted(),
+                            }
+                        } else {
+                            e.into()
+                        });
+                    }
+                }
                 snap.apply_to(&mut self.selector);
             }
             // Subset biasing: record subset losses; prune on schedule.
@@ -293,17 +565,27 @@ impl NessaPipeline {
             });
         }
         report.traffic = self.device.traffic();
-        report.device_energy_j = self.device.energy().total_joules();
-        // Bridge the device's phase trace and roll-up counters into the
-        // unified stream, then flush the sinks for this run.
+        report.device_energy_j = self.device.energy_joules();
+        health.note_faults_injected(self.device.faults_injected());
+        health.set_drives_alive(self.device.len());
+        // Bridge every drive's phase trace (retired ones included) and
+        // roll-up counters into the unified stream, then flush the sinks
+        // for this run.
         if self.telemetry.is_enabled() {
-            for ev in self.device.trace().events() {
-                self.telemetry.record_device_event(DeviceEvent {
-                    phase: ev.phase.label().to_string(),
-                    start_s: ev.start_s,
-                    duration_s: ev.duration_s,
-                    bytes: ev.bytes,
-                });
+            for d in self
+                .device
+                .drives()
+                .iter()
+                .chain(self.device.retired_drives())
+            {
+                for ev in d.trace().events() {
+                    self.telemetry.record_device_event(DeviceEvent {
+                        phase: ev.phase.label().to_string(),
+                        start_s: ev.start_s,
+                        duration_s: ev.duration_s,
+                        bytes: ev.bytes,
+                    });
+                }
             }
             let traffic = report.traffic;
             self.telemetry
@@ -333,8 +615,9 @@ impl NessaPipeline {
         &mut self.target
     }
 
-    /// The simulated device (traffic/energy counters).
-    pub fn device(&self) -> &SmartSsd {
+    /// The simulated drive cluster (traffic/energy counters, eviction
+    /// state, per-drive traces).
+    pub fn device(&self) -> &SsdCluster {
         &self.device
     }
 

@@ -123,7 +123,14 @@ fn device_trace_bridges_into_the_stream() {
     let mut p = pipeline_for(&cfg);
     let report = p.run().unwrap();
     let events = p.telemetry().device_events();
-    assert_eq!(events.len(), p.device().trace().len());
+    let traced: usize = p
+        .device()
+        .drives()
+        .iter()
+        .chain(p.device().retired_drives())
+        .map(|d| d.trace().len())
+        .sum();
+    assert_eq!(events.len(), traced);
     for label in ["scan", "select", "ship", "feedback"] {
         assert!(
             events.iter().any(|e| e.phase == label),

@@ -54,7 +54,21 @@ impl BatchPlan {
 
     /// Materializes one epoch of index batches.
     pub fn epoch(&self, rng: &mut Rng64) -> Vec<Vec<usize>> {
-        let mut idx: Vec<usize> = (0..self.n).collect();
+        self.epoch_excluding(&[], rng)
+    }
+
+    /// Like [`BatchPlan::epoch`], but skipping the `quarantined` indices —
+    /// records a lossy decode dropped (see
+    /// `record::decode_dataset_lossy`), so training iterates only over
+    /// intact samples. Out-of-range entries in `quarantined` are ignored.
+    pub fn epoch_excluding(&self, quarantined: &[usize], rng: &mut Rng64) -> Vec<Vec<usize>> {
+        let mut banned = vec![false; self.n];
+        for &q in quarantined {
+            if q < self.n {
+                banned[q] = true;
+            }
+        }
+        let mut idx: Vec<usize> = (0..self.n).filter(|&i| !banned[i]).collect();
         if self.shuffle {
             rng.shuffle(&mut idx);
         }
@@ -124,5 +138,19 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn rejects_zero_batch() {
         let _ = BatchPlan::new(10, 0);
+    }
+
+    #[test]
+    fn excluding_skips_quarantined_indices() {
+        let plan = BatchPlan::new(20, 4).sequential();
+        let mut rng = Rng64::new(0);
+        let batches = plan.epoch_excluding(&[3, 7, 99], &mut rng);
+        let all: Vec<usize> = batches.into_iter().flatten().collect();
+        assert_eq!(all.len(), 18, "two in-range indices are skipped");
+        assert!(!all.contains(&3) && !all.contains(&7));
+        // Empty exclusion matches the plain epoch exactly.
+        let a = plan.epoch_excluding(&[], &mut Rng64::new(5));
+        let b = plan.epoch(&mut Rng64::new(5));
+        assert_eq!(a, b);
     }
 }

@@ -92,7 +92,9 @@ pub fn encode_dataset(dataset: &Dataset) -> Vec<u8> {
 }
 
 /// A little-endian cursor over a byte slice (the decode-side counterpart
-/// of the plain `Vec<u8>` encoder above).
+/// of the plain `Vec<u8>` encoder above). Every read is bounds-checked
+/// and returns [`RecordError::Truncated`] on a short stream — no read
+/// can panic, however damaged the input.
 struct Cursor<'a> {
     bytes: &'a [u8],
 }
@@ -102,22 +104,31 @@ impl<'a> Cursor<'a> {
         self.bytes.len()
     }
 
-    fn take(&mut self, n: usize) -> &'a [u8] {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RecordError> {
+        if self.bytes.len() < n {
+            return Err(RecordError::Truncated {
+                expected: n,
+                actual: self.bytes.len(),
+            });
+        }
         let (head, tail) = self.bytes.split_at(n);
         self.bytes = tail;
-        head
+        Ok(head)
     }
 
-    fn get_u16_le(&mut self) -> u16 {
-        u16::from_le_bytes(self.take(2).try_into().expect("2 bytes"))
+    fn get_u16_le(&mut self) -> Result<u16, RecordError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn get_u32_le(&mut self) -> u32 {
-        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    fn get_u32_le(&mut self) -> Result<u32, RecordError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn get_f32_le(&mut self) -> f32 {
-        f32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    fn get_f32_le(&mut self) -> Result<f32, RecordError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 }
 
@@ -134,47 +145,133 @@ pub fn decode_dataset(name: &str, bytes: &[u8]) -> Result<Dataset, RecordError> 
             actual: bytes.len(),
         });
     }
-    let mut bytes = Cursor { bytes };
-    if bytes.take(4) != MAGIC {
-        return Err(RecordError::BadMagic);
-    }
-    let version = bytes.get_u16_le();
-    if version != VERSION {
-        return Err(RecordError::BadVersion(version));
-    }
-    let classes = bytes.get_u32_le() as usize;
-    let dim = bytes.get_u32_le() as usize;
-    let rec_len = bytes.get_u32_le() as usize;
-    let count = bytes.get_u32_le() as usize;
-    if classes == 0 {
-        return Err(RecordError::Corrupt("zero classes"));
-    }
-    if rec_len < 4 + 4 * dim {
-        return Err(RecordError::Corrupt("record length below payload size"));
-    }
-    let need = count * rec_len;
+    let (header, mut bytes) = decode_header(bytes)?;
+    let need = header.count * header.rec_len;
     if bytes.remaining() < need {
         return Err(RecordError::Truncated {
             expected: HEADER_LEN + need,
             actual: HEADER_LEN + bytes.remaining(),
         });
     }
-    let mut features = Vec::with_capacity(count * dim);
-    let mut labels = Vec::with_capacity(count);
-    let pad = rec_len - (4 + 4 * dim);
-    for _ in 0..count {
-        let label = bytes.get_u32_le() as usize;
-        if label >= classes {
-            return Err(RecordError::Corrupt("label out of range"));
-        }
-        labels.push(label);
-        for _ in 0..dim {
-            features.push(bytes.get_f32_le());
-        }
-        bytes.take(pad);
+    let mut features = Vec::with_capacity(header.count * header.dim);
+    let mut labels = Vec::with_capacity(header.count);
+    for _ in 0..header.count {
+        decode_record(&mut bytes, &header, &mut features, &mut labels)?;
     }
-    let x = nessa_tensor::Tensor::from_vec(features, &[count, dim]);
-    Ok(Dataset::new(name, x, labels, classes, rec_len))
+    let x = nessa_tensor::Tensor::from_vec(features, &[labels.len(), header.dim]);
+    Ok(Dataset::new(
+        name,
+        x,
+        labels,
+        header.classes,
+        header.rec_len,
+    ))
+}
+
+/// The validated header fields of a record stream.
+struct Header {
+    classes: usize,
+    dim: usize,
+    rec_len: usize,
+    count: usize,
+}
+
+fn decode_header(bytes: &[u8]) -> Result<(Header, Cursor<'_>), RecordError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(RecordError::Truncated {
+            expected: HEADER_LEN,
+            actual: bytes.len(),
+        });
+    }
+    let mut bytes = Cursor { bytes };
+    if bytes.take(4)? != MAGIC {
+        return Err(RecordError::BadMagic);
+    }
+    let version = bytes.get_u16_le()?;
+    if version != VERSION {
+        return Err(RecordError::BadVersion(version));
+    }
+    let classes = bytes.get_u32_le()? as usize;
+    let dim = bytes.get_u32_le()? as usize;
+    let rec_len = bytes.get_u32_le()? as usize;
+    let count = bytes.get_u32_le()? as usize;
+    if classes == 0 {
+        return Err(RecordError::Corrupt("zero classes"));
+    }
+    if rec_len < 4 + 4 * dim {
+        return Err(RecordError::Corrupt("record length below payload size"));
+    }
+    Ok((
+        Header {
+            classes,
+            dim,
+            rec_len,
+            count,
+        },
+        bytes,
+    ))
+}
+
+/// Decodes one record, appending to `features`/`labels` only on success.
+/// Always consumes exactly `rec_len` bytes when they are available (so a
+/// lossy caller stays record-aligned after a corrupt label), and nothing
+/// past the end of the stream when they are not.
+fn decode_record(
+    bytes: &mut Cursor<'_>,
+    header: &Header,
+    features: &mut Vec<f32>,
+    labels: &mut Vec<usize>,
+) -> Result<(), RecordError> {
+    let mut rec = Cursor {
+        bytes: bytes.take(header.rec_len)?,
+    };
+    // `rec_len ≥ 4 + 4·dim` was validated with the header, so these
+    // in-record reads cannot fail.
+    let label = rec.get_u32_le()? as usize;
+    if label >= header.classes {
+        return Err(RecordError::Corrupt("label out of range"));
+    }
+    for _ in 0..header.dim {
+        features.push(rec.get_f32_le()?);
+    }
+    labels.push(label);
+    Ok(())
+}
+
+/// Best-effort [`decode_dataset`]: decodes every intact record and counts
+/// the damaged ones instead of failing the whole stream — the host-side
+/// analogue of the pipeline's quarantine-and-count policy (the count
+/// feeds the `data.quarantined` telemetry counter).
+///
+/// A record is quarantined when its label is out of range or the stream
+/// ends inside it; decoding stops at the first short record since
+/// everything after a truncation point is unrecoverable.
+///
+/// # Errors
+///
+/// Returns a [`RecordError`] only when the *header* is unusable (bad
+/// magic/version, inconsistent geometry, or too short to read).
+pub fn decode_dataset_lossy(name: &str, bytes: &[u8]) -> Result<(Dataset, u64), RecordError> {
+    let (header, mut bytes) = decode_header(bytes)?;
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    let mut quarantined = 0u64;
+    for decoded in 0..header.count {
+        match decode_record(&mut bytes, &header, &mut features, &mut labels) {
+            Ok(()) => {}
+            Err(RecordError::Truncated { .. }) => {
+                // The rest of the stream is gone with this record.
+                quarantined += (header.count - decoded) as u64;
+                break;
+            }
+            Err(_) => quarantined += 1,
+        }
+    }
+    let x = nessa_tensor::Tensor::from_vec(features, &[labels.len(), header.dim]);
+    Ok((
+        Dataset::new(name, x, labels, header.classes, header.rec_len),
+        quarantined,
+    ))
 }
 
 /// Writes a dataset to a `.nssa` file at `path`.
@@ -291,6 +388,56 @@ mod tests {
             decode_dataset("x", &enc),
             Err(RecordError::Corrupt("label out of range"))
         );
+    }
+
+    #[test]
+    fn lossy_decode_quarantines_bad_labels() {
+        let d = toy();
+        let mut enc = encode_dataset(&d).to_vec();
+        // First record's label field sits right after the header.
+        enc[HEADER_LEN] = 200;
+        let (back, quarantined) = decode_dataset_lossy("q", &enc).unwrap();
+        assert_eq!(quarantined, 1);
+        assert_eq!(back.len(), d.len() - 1);
+        assert_eq!(back.labels(), &d.labels()[1..]);
+    }
+
+    #[test]
+    fn lossy_decode_counts_truncated_tail() {
+        let d = toy();
+        let enc = encode_dataset(&d);
+        let rec = record_len(d.dim(), d.bytes_per_sample());
+        // Lose the last record plus part of the one before it.
+        let cut = &enc[..enc.len() - rec - 10];
+        let (back, quarantined) = decode_dataset_lossy("cut", cut).unwrap();
+        assert_eq!(quarantined, 2);
+        assert_eq!(back.len(), d.len() - 2);
+        assert_eq!(back.labels(), &d.labels()[..d.len() - 2]);
+    }
+
+    #[test]
+    fn lossy_decode_still_rejects_bad_headers() {
+        assert!(decode_dataset_lossy("x", b"nope").is_err());
+        let d = toy();
+        let mut enc = encode_dataset(&d).to_vec();
+        enc[0] = b'X';
+        assert_eq!(decode_dataset_lossy("x", &enc), Err(RecordError::BadMagic));
+    }
+
+    #[test]
+    fn lossy_decode_conserves_records_under_random_truncation() {
+        use crate::corrupt::truncate_random;
+        use nessa_tensor::rng::Rng64;
+        let d = toy();
+        let clean = encode_dataset(&d);
+        let mut rng = Rng64::new(7);
+        for _ in 0..100 {
+            let cut = truncate_random(&clean, &mut rng);
+            // Header intact → every record is either decoded or counted.
+            if let Ok((back, q)) = decode_dataset_lossy("cut", &cut) {
+                assert_eq!(back.len() as u64 + q, d.len() as u64);
+            }
+        }
     }
 
     #[test]

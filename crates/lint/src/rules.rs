@@ -14,7 +14,24 @@ use crate::Violation;
 /// Telemetry phase names that rule **T1** accepts. Kept in lockstep
 /// with `nessa_telemetry::phase::REGISTERED_PHASES` (a cross-crate test
 /// asserts the two lists are identical).
-pub const REGISTERED_PHASES: &[&str] = &["epoch", "scan", "select", "ship", "train", "feedback"];
+pub const REGISTERED_PHASES: &[&str] = &[
+    "epoch", "scan", "select", "ship", "train", "feedback", "retry", "fallback",
+];
+
+/// Telemetry counter names that rule **T1** accepts. Kept in lockstep
+/// with `nessa_telemetry::phase::REGISTERED_COUNTERS` (the same
+/// cross-crate test asserts equality).
+pub const REGISTERED_COUNTERS: &[&str] = &[
+    "health.stalls",
+    "train.batches",
+    "train.samples",
+    "fault.injected",
+    "retry.attempts",
+    "fallback.host",
+    "fallback.random",
+    "drive.evicted",
+    "data.quarantined",
+];
 
 /// A lint rule: identifier, what it protects, and where it looks.
 pub struct Rule {
@@ -56,7 +73,7 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             id: "t1-unregistered-phase",
-            summary: "telemetry span names must come from the registered phase set",
+            summary: "telemetry span/counter names must come from the registered sets",
             check: check_t1,
         },
     ]
@@ -322,34 +339,41 @@ fn window_mentions_float(window: &str) -> bool {
 // --- T1: registered telemetry phase names --------------------------------
 
 fn check_t1(entry: &SourceEntry, sf: &SourceFile, out: &mut Vec<Violation>) {
+    // (anchor token, allowed vocabulary, registry named in the message)
+    let vocabularies: [(&str, &[&str], &str); 2] = [
+        (".span(\"", REGISTERED_PHASES, "REGISTERED_PHASES"),
+        (".counter(\"", REGISTERED_COUNTERS, "REGISTERED_COUNTERS"),
+    ];
     for (i, masked) in sf.masked.iter().enumerate() {
         if sf.in_test[i] {
             continue;
         }
         let raw = &sf.lines[i];
-        let mut start = 0;
-        while let Some(pos) = masked[start..].find(".span(\"") {
-            let at = start + pos;
-            // The literal's body lives in the RAW line at the same
-            // offsets (masking is length-preserving).
-            let open = at + ".span(\"".len();
-            let name: String = raw.chars().skip(open).take_while(|&c| c != '"').collect();
-            if !REGISTERED_PHASES.contains(&name.as_str())
-                && !sf.is_suppressed(i, "t1-unregistered-phase")
-            {
-                out.push(Violation {
-                    rule: "t1-unregistered-phase",
-                    file: entry.rel.clone(),
-                    module: entry.module.clone(),
-                    line: i + 1,
-                    column: at + 1,
-                    message: format!(
-                        "phase \"{name}\" is not in nessa_telemetry::phase::REGISTERED_PHASES"
-                    ),
-                    snippet: raw.trim().to_string(),
-                });
+        for (token, allowed, registry) in vocabularies {
+            let mut start = 0;
+            while let Some(pos) = masked[start..].find(token) {
+                let at = start + pos;
+                // The literal's body lives in the RAW line at the same
+                // offsets (masking is length-preserving).
+                let open = at + token.len();
+                let name: String = raw.chars().skip(open).take_while(|&c| c != '"').collect();
+                if !allowed.contains(&name.as_str())
+                    && !sf.is_suppressed(i, "t1-unregistered-phase")
+                {
+                    out.push(Violation {
+                        rule: "t1-unregistered-phase",
+                        file: entry.rel.clone(),
+                        module: entry.module.clone(),
+                        line: i + 1,
+                        column: at + 1,
+                        message: format!(
+                            "name \"{name}\" is not in nessa_telemetry::phase::{registry}"
+                        ),
+                        snippet: raw.trim().to_string(),
+                    });
+                }
+                start = open;
             }
-            start = open;
         }
     }
 }

@@ -1,7 +1,8 @@
-//! Rule T1's phase vocabulary is a hardcoded copy (the linter depends
-//! on nothing), so this cross-crate test pins it to the authoritative
-//! registry in `nessa-telemetry`. If a phase is added there, this test
-//! fails until the linter's copy is updated in the same change.
+//! Rule T1's phase and counter vocabularies are hardcoded copies (the
+//! linter depends on nothing), so this cross-crate test pins them to the
+//! authoritative registry in `nessa-telemetry`. If a name is added
+//! there, this test fails until the linter's copy is updated in the same
+//! change.
 
 #[test]
 fn lint_phase_list_matches_telemetry_registry() {
@@ -13,9 +14,50 @@ fn lint_phase_list_matches_telemetry_registry() {
 }
 
 #[test]
+fn lint_counter_list_matches_telemetry_registry() {
+    assert_eq!(
+        nessa_lint::rules::REGISTERED_COUNTERS,
+        nessa_telemetry::phase::REGISTERED_COUNTERS,
+        "update nessa_lint::rules::REGISTERED_COUNTERS alongside the telemetry registry"
+    );
+}
+
+#[test]
 fn telemetry_registry_recognises_its_own_phases() {
     for phase in nessa_lint::rules::REGISTERED_PHASES {
         assert!(nessa_telemetry::phase::is_registered(phase));
     }
     assert!(!nessa_telemetry::phase::is_registered("warmup"));
+}
+
+#[test]
+fn telemetry_registry_recognises_its_own_counters() {
+    for counter in nessa_lint::rules::REGISTERED_COUNTERS {
+        assert!(nessa_telemetry::phase::is_registered_counter(counter));
+    }
+    assert!(!nessa_telemetry::phase::is_registered_counter(
+        "fault.imagined"
+    ));
+}
+
+#[test]
+fn fault_tolerance_vocabulary_is_covered() {
+    // The chaos gate asserts on these exact names; rule T1 only protects
+    // them if they are in the registered sets.
+    for phase in ["retry", "fallback"] {
+        assert!(nessa_telemetry::phase::is_registered(phase), "{phase}");
+    }
+    for counter in [
+        "fault.injected",
+        "retry.attempts",
+        "fallback.host",
+        "fallback.random",
+        "drive.evicted",
+        "data.quarantined",
+    ] {
+        assert!(
+            nessa_telemetry::phase::is_registered_counter(counter),
+            "{counter}"
+        );
+    }
 }

@@ -1,6 +1,11 @@
 //! Uniform random selection baseline.
+//!
+//! Doubles as the last rung of the pipeline's degradation ladder:
+//! [`select_per_class_checked`] is the panic-free entry point the host
+//! falls back to when both the device kernel and the host-side
+//! facility-location path are out.
 
-use crate::{fraction_count, Selection};
+use crate::{fraction_count, SelectError, Selection};
 use nessa_tensor::rng::Rng64;
 
 /// Selects `k` candidates uniformly at random from a pool of `n`, with all
@@ -50,6 +55,29 @@ pub fn select_per_class(
     merged
 }
 
+/// Panic-free [`select_per_class`]: the degradation-ladder entry point
+/// used by the pipeline when facility-location selection is unavailable.
+///
+/// # Errors
+///
+/// Returns [`SelectError::BadFraction`] when `fraction` is outside
+/// `(0, 1]` and [`SelectError::LabelOutOfRange`] when any label is
+/// `≥ classes`.
+pub fn select_per_class_checked(
+    labels: &[usize],
+    classes: usize,
+    fraction: f32,
+    rng: &mut Rng64,
+) -> Result<Selection, SelectError> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(SelectError::BadFraction(fraction));
+    }
+    if let Some(&label) = labels.iter().find(|&&y| y >= classes) {
+        return Err(SelectError::LabelOutOfRange { label, classes });
+    }
+    Ok(select_per_class(labels, classes, fraction, rng))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +118,33 @@ mod tests {
             let picks = sel.indices.iter().filter(|&&i| labels[i] == c).count();
             assert_eq!(picks, 3, "class {c}");
         }
+    }
+
+    #[test]
+    fn checked_variant_rejects_bad_inputs_without_panicking() {
+        let mut rng = Rng64::new(5);
+        let labels = vec![0usize, 1, 2];
+        assert!(matches!(
+            select_per_class_checked(&labels, 3, 0.0, &mut rng),
+            Err(SelectError::BadFraction(_))
+        ));
+        assert!(matches!(
+            select_per_class_checked(&labels, 2, 0.5, &mut rng),
+            Err(SelectError::LabelOutOfRange {
+                label: 2,
+                classes: 2
+            })
+        ));
+        let sel = select_per_class_checked(&labels, 3, 1.0, &mut rng).unwrap();
+        assert_eq!(sel.len(), 3);
+    }
+
+    #[test]
+    fn checked_variant_matches_panicking_variant() {
+        let labels: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let a = select_per_class(&labels, 4, 0.3, &mut Rng64::new(9));
+        let b = select_per_class_checked(&labels, 4, 0.3, &mut Rng64::new(9)).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

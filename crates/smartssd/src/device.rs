@@ -7,7 +7,8 @@
 
 use crate::clock::SimClock;
 use crate::energy::EnergyMeter;
-use crate::fpga::{FpgaSpec, KernelError, KernelProfile};
+use crate::fault::{DeviceError, FaultPlan, FaultState};
+use crate::fpga::{FpgaSpec, KernelProfile};
 use crate::nand::{NandArray, NandConfig};
 use crate::pcie::LinkModel;
 use crate::trace::{Phase, Trace, TraceEvent};
@@ -79,6 +80,7 @@ pub struct SmartSsd {
     traffic: TrafficStats,
     energy: EnergyMeter,
     trace: Trace,
+    faults: FaultState,
 }
 
 impl SmartSsd {
@@ -91,7 +93,42 @@ impl SmartSsd {
             traffic: TrafficStats::default(),
             energy: EnergyMeter::new(),
             trace: Trace::new(),
+            faults: FaultState::default(),
         }
+    }
+
+    /// Arms a deterministic fault schedule on this drive. Replaces any
+    /// previously armed plan; op counters keep running.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults.arm(plan);
+    }
+
+    /// Number of faults this drive has injected so far (failed ops,
+    /// latency spikes, corruption events, and the dropout transition).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.injected()
+    }
+
+    /// Whether the drive has dropped off the bus.
+    pub fn is_offline(&self) -> bool {
+        self.faults.is_offline()
+    }
+
+    /// Drains the count of corrupt records delivered since the last call,
+    /// so the caller can quarantine them.
+    pub fn take_quarantined(&mut self) -> u64 {
+        self.faults.take_quarantined()
+    }
+
+    /// Charges `secs` of idle backoff to the drive (a [`Phase::Stall`]
+    /// trace event) — how the pipeline accounts retry waits on the
+    /// simulated clock.
+    pub fn stall_for(&mut self, secs: f64) {
+        if secs <= 0.0 {
+            return;
+        }
+        self.log(Phase::Stall, secs, 0);
+        self.clock.advance_secs(secs);
     }
 
     /// The device configuration.
@@ -131,7 +168,18 @@ impl SmartSsd {
     /// Streams `records × record_bytes` from flash to the FPGA over the
     /// P2P link (flash read and link transfer are pipelined: the phase
     /// costs the slower of the two). Returns the phase's seconds.
-    pub fn read_records_to_fpga(&mut self, records: u64, record_bytes: u64) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::TransientRead`] when an armed read-error
+    /// burst fires (retryable), or [`DeviceError::Offline`] after a drive
+    /// dropout. Failed attempts cost no simulated time.
+    pub fn read_records_to_fpga(
+        &mut self,
+        records: u64,
+        record_bytes: u64,
+    ) -> Result<f64, DeviceError> {
+        self.faults.scan_op()?;
         let bytes = records * record_bytes;
         let flash = self.nand.read(bytes);
         let link = self.config.p2p.batch_time_s(records, record_bytes);
@@ -140,17 +188,22 @@ impl SmartSsd {
         self.energy.record("ssd", SSD_ACTIVE_WATTS, t);
         self.log(Phase::Scan, t, bytes);
         self.clock.advance_secs(t);
-        t
+        Ok(t)
     }
 
     /// Runs the selection kernel on the FPGA. Returns the phase's seconds.
     ///
     /// # Errors
     ///
-    /// Returns [`KernelError::ChunkTooLarge`] when the profile's chunk does
-    /// not fit the FPGA's on-chip memory — the caller must re-partition
-    /// (paper §3.2.3).
-    pub fn run_selection(&mut self, profile: &KernelProfile) -> Result<f64, KernelError> {
+    /// Returns [`DeviceError::Kernel`] with
+    /// [`KernelError::ChunkTooLarge`](crate::KernelError::ChunkTooLarge)
+    /// when the profile's chunk does not fit the FPGA's on-chip memory —
+    /// the caller must re-partition (paper §3.2.3) — or
+    /// [`KernelError::Aborted`](crate::KernelError::Aborted) when an armed
+    /// kernel fault fires (retryable). Failed launches cost no simulated
+    /// time.
+    pub fn run_selection(&mut self, profile: &KernelProfile) -> Result<f64, DeviceError> {
+        self.faults.kernel_op()?;
         let t = profile.execute_time_s(&self.config.fpga)?;
         self.energy.record("fpga", FPGA_ACTIVE_WATTS, t);
         self.log(Phase::Select, t, 0);
@@ -159,48 +212,79 @@ impl SmartSsd {
     }
 
     /// Ships the selected subset to the host/GPU. Returns the phase's
-    /// seconds.
-    pub fn send_subset_to_host(&mut self, records: u64, record_bytes: u64) -> f64 {
+    /// seconds (including any injected PCIe latency spike).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Offline`] after a drive dropout.
+    pub fn send_subset_to_host(
+        &mut self,
+        records: u64,
+        record_bytes: u64,
+    ) -> Result<f64, DeviceError> {
+        let extra = self.faults.transfer_op()?;
         let bytes = records * record_bytes;
-        let t = self.config.host.batch_time_s(records, record_bytes);
+        let t = self.config.host.batch_time_s(records, record_bytes) + extra;
         self.traffic.fpga_to_host += bytes;
         self.energy.record("link", 2.0, t);
         self.log(Phase::Ship, t, bytes);
         self.clock.advance_secs(t);
-        t
+        Ok(t)
     }
 
     /// Receives the quantized-weight feedback from the host (paper
-    /// §3.2.1). Returns the phase's seconds.
-    pub fn receive_feedback(&mut self, bytes: u64) -> f64 {
-        let t = self.config.host.transfer_time_s(bytes);
+    /// §3.2.1). Returns the phase's seconds (including any injected PCIe
+    /// latency spike).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Offline`] after a drive dropout.
+    pub fn receive_feedback(&mut self, bytes: u64) -> Result<f64, DeviceError> {
+        let extra = self.faults.transfer_op()?;
+        let t = self.config.host.transfer_time_s(bytes) + extra;
         self.traffic.host_to_fpga += bytes;
         self.energy.record("link", 2.0, t);
         self.log(Phase::Feedback, t, bytes);
         self.clock.advance_secs(t);
-        t
+        Ok(t)
     }
 
     /// Installs a dataset onto the drive: the records stream in over the
     /// host link and are programmed to flash (pipelined; the phase costs
     /// the slower of the two). A one-time cost before training starts.
     /// Returns the phase's seconds.
-    pub fn install_dataset(&mut self, records: u64, record_bytes: u64) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Offline`] after a drive dropout.
+    pub fn install_dataset(&mut self, records: u64, record_bytes: u64) -> Result<f64, DeviceError> {
+        let extra = self.faults.transfer_op()?;
         let bytes = records * record_bytes;
         let link = self.config.host.batch_time_s(records, record_bytes);
         let flash = self.nand.program(bytes);
-        let t = flash.max(link);
+        let t = flash.max(link) + extra;
         self.traffic.host_to_fpga += bytes;
         self.energy.record("ssd", SSD_ACTIVE_WATTS, t);
         self.log(Phase::Install, t, bytes);
         self.clock.advance_secs(t);
-        t
+        Ok(t)
     }
 
     /// Baseline path: reads records from flash and stages them through the
     /// host at the conventional effective bandwidth (paper §4.4:
     /// 1.4 GB/s). Returns the phase's seconds.
-    pub fn conventional_read_to_host(&mut self, records: u64, record_bytes: u64) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::TransientRead`] when an armed read-error
+    /// burst fires (retryable), or [`DeviceError::Offline`] after a drive
+    /// dropout. Failed attempts cost no simulated time.
+    pub fn conventional_read_to_host(
+        &mut self,
+        records: u64,
+        record_bytes: u64,
+    ) -> Result<f64, DeviceError> {
+        self.faults.scan_op()?;
         let bytes = records * record_bytes;
         let flash = self.nand.read(bytes);
         let link = self.config.host_staged.batch_time_s(records, record_bytes);
@@ -209,7 +293,7 @@ impl SmartSsd {
         self.energy.record("ssd", SSD_ACTIVE_WATTS, t);
         self.log(Phase::StagedRead, t, bytes);
         self.clock.advance_secs(t);
-        t
+        Ok(t)
     }
 }
 
@@ -237,10 +321,10 @@ mod tests {
     fn clock_advances_through_phases() {
         let mut dev = SmartSsd::default();
         assert_eq!(dev.elapsed_secs(), 0.0);
-        let t1 = dev.read_records_to_fpga(1000, 3000);
+        let t1 = dev.read_records_to_fpga(1000, 3000).unwrap();
         let t2 = dev.run_selection(&cifar_profile()).unwrap();
-        let t3 = dev.send_subset_to_host(280, 3000);
-        let t4 = dev.receive_feedback(280_000);
+        let t3 = dev.send_subset_to_host(280, 3000).unwrap();
+        let t4 = dev.receive_feedback(280_000).unwrap();
         let total = dev.elapsed_secs();
         assert!((total - (t1 + t2 + t3 + t4)).abs() < 1e-9);
         assert!(total > 0.0);
@@ -249,10 +333,10 @@ mod tests {
     #[test]
     fn traffic_counters_are_exact() {
         let mut dev = SmartSsd::default();
-        dev.read_records_to_fpga(100, 1000);
-        dev.send_subset_to_host(30, 1000);
-        dev.receive_feedback(5000);
-        dev.conventional_read_to_host(10, 1000);
+        dev.read_records_to_fpga(100, 1000).unwrap();
+        dev.send_subset_to_host(30, 1000).unwrap();
+        dev.receive_feedback(5000).unwrap();
+        dev.conventional_read_to_host(10, 1000).unwrap();
         let t = dev.traffic();
         assert_eq!(t.ssd_to_fpga, 100_000);
         assert_eq!(t.fpga_to_host, 30_000);
@@ -269,11 +353,11 @@ mod tests {
         let bytes = 3_000u64;
         let subset = records * 28 / 100;
         let mut nessa = SmartSsd::default();
-        nessa.read_records_to_fpga(records, bytes);
-        nessa.send_subset_to_host(subset, bytes);
+        nessa.read_records_to_fpga(records, bytes).unwrap();
+        nessa.send_subset_to_host(subset, bytes).unwrap();
         // Baseline: the full dataset crosses to the host.
         let mut base = SmartSsd::default();
-        base.conventional_read_to_host(records, bytes);
+        base.conventional_read_to_host(records, bytes).unwrap();
         let reduction = base.traffic().interconnect_bytes() as f64
             / nessa.traffic().interconnect_bytes() as f64;
         assert!(
@@ -286,8 +370,8 @@ mod tests {
     fn p2p_read_is_faster_than_staged() {
         let mut a = SmartSsd::default();
         let mut b = SmartSsd::default();
-        let tp = a.read_records_to_fpga(10_000, 126_000);
-        let th = b.conventional_read_to_host(10_000, 126_000);
+        let tp = a.read_records_to_fpga(10_000, 126_000).unwrap();
+        let th = b.conventional_read_to_host(10_000, 126_000).unwrap();
         assert!(th / tp > 1.5, "p2p {tp}s vs staged {th}s");
     }
 
@@ -305,10 +389,10 @@ mod tests {
     #[test]
     fn dataset_install_is_one_time_flash_bound_cost() {
         let mut dev = SmartSsd::default();
-        let t_install = dev.install_dataset(50_000, 3_000);
+        let t_install = dev.install_dataset(50_000, 3_000).unwrap();
         // Installing is slower than scanning the same data back out
         // (t_PROG ≫ t_R), but still a bounded one-time cost.
-        let t_scan = dev.read_records_to_fpga(50_000, 3_000);
+        let t_scan = dev.read_records_to_fpga(50_000, 3_000).unwrap();
         assert!(t_install > t_scan, "install {t_install} !> scan {t_scan}");
         assert!(t_install < 60.0, "install unreasonably slow: {t_install}");
     }
@@ -317,10 +401,10 @@ mod tests {
     fn trace_records_every_phase() {
         use crate::trace::Phase;
         let mut dev = SmartSsd::default();
-        let t1 = dev.read_records_to_fpga(1000, 3000);
+        let t1 = dev.read_records_to_fpga(1000, 3000).unwrap();
         let t2 = dev.run_selection(&cifar_profile()).unwrap();
-        let t3 = dev.send_subset_to_host(280, 3000);
-        let t4 = dev.receive_feedback(280_000);
+        let t3 = dev.send_subset_to_host(280, 3000).unwrap();
+        let t4 = dev.receive_feedback(280_000).unwrap();
         let trace = dev.trace();
         assert_eq!(trace.len(), 4);
         assert!((trace.total_for(Phase::Scan) - t1).abs() < 1e-12);

@@ -55,7 +55,7 @@ pub struct KernelProfile {
     pub k_per_chunk: usize,
 }
 
-/// Why a kernel cannot run.
+/// Why a kernel cannot run (or did not finish).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelError {
     /// The chunk's working set exceeds on-chip memory; re-partition with a
@@ -66,6 +66,13 @@ pub enum KernelError {
         /// Bytes available on chip.
         available: usize,
     },
+    /// The kernel launched but aborted mid-flight (injected by a
+    /// [`FaultPlan`](crate::FaultPlan)). Retryable: nothing is wrong with
+    /// the profile itself.
+    Aborted {
+        /// Kernel-channel operation index at which the abort fired.
+        op: u64,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -75,6 +82,9 @@ impl fmt::Display for KernelError {
                 f,
                 "selection chunk needs {required} bytes of on-chip memory but only {available} are available"
             ),
+            KernelError::Aborted { op } => {
+                write!(f, "selection kernel aborted mid-flight (kernel op {op})")
+            }
         }
     }
 }

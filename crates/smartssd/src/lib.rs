@@ -18,10 +18,13 @@
 //! * [`energy`] — busy-time × power accounting,
 //! * [`device`] — the assembled drive with end-to-end transfer and
 //!   byte/time/energy counters,
-//! * [`cluster`] — multi-drive sharding (the paper's future-work scaling).
+//! * [`cluster`] — multi-drive sharding (the paper's future-work scaling),
+//! * [`fault`] — deterministic fault injection: seeded schedules of NAND
+//!   read errors, kernel aborts, PCIe stalls, record corruption and
+//!   whole-drive dropout.
 //!
 //! Everything is deterministic: the same call sequence produces the same
-//! simulated timeline.
+//! simulated timeline — fault schedules included.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@ pub mod clock;
 pub mod cluster;
 pub mod device;
 pub mod energy;
+pub mod fault;
 pub mod fpga;
 pub mod ftl;
 pub mod nand;
@@ -38,9 +42,10 @@ pub mod resources;
 pub mod trace;
 
 pub use clock::SimClock;
-pub use cluster::SsdCluster;
+pub use cluster::{ClusterError, SsdCluster};
 pub use device::{SmartSsd, SmartSsdConfig, TrafficStats};
-pub use fpga::{FpgaSpec, KernelProfile};
+pub use fault::{DeviceError, FaultPlan, FaultSpec};
+pub use fpga::{FpgaSpec, KernelError, KernelProfile};
 pub use pcie::LinkModel;
 pub use resources::{ResourceReport, ResourceUsage};
 pub use trace::{Phase, Trace, TraceEvent};

@@ -22,6 +22,9 @@ pub enum Phase {
     StagedRead,
     /// Host → flash dataset installation (one-time programming).
     Install,
+    /// Idle backoff charged to the drive while the pipeline waits to
+    /// retry a failed operation.
+    Stall,
 }
 
 impl Phase {
@@ -34,6 +37,7 @@ impl Phase {
             Phase::Feedback => "feedback",
             Phase::StagedRead => "staged-read",
             Phase::Install => "install",
+            Phase::Stall => "stall",
         }
     }
 }

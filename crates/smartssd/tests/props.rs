@@ -37,7 +37,7 @@ proptest! {
         let mut sum = 0.0;
         for (records, bytes) in ops {
             let before = dev.elapsed_secs();
-            let t = dev.read_records_to_fpga(records, bytes);
+            let t = dev.read_records_to_fpga(records, bytes).unwrap();
             sum += t;
             prop_assert!(dev.elapsed_secs() >= before);
             prop_assert!(t >= 0.0);
@@ -52,7 +52,7 @@ proptest! {
         let mut dev = SmartSsd::new(SmartSsdConfig::default());
         let expected: u64 = scans.iter().map(|&(r, b)| r * b).sum();
         for (r, b) in scans {
-            dev.read_records_to_fpga(r, b);
+            dev.read_records_to_fpga(r, b).unwrap();
         }
         prop_assert_eq!(dev.traffic().ssd_to_fpga, expected);
     }

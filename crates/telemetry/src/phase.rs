@@ -8,25 +8,59 @@
 //! names.
 //!
 //! The set mirrors the paper's five pipeline steps (Figure 3) plus the
-//! enclosing epoch span.
+//! enclosing epoch span and the fault-handling phases (retry backoff and
+//! degradation-ladder fallbacks).
+//!
+//! Counter names get the same treatment: library code may only create
+//! counters named from [`REGISTERED_COUNTERS`], so fleet-wide roll-ups
+//! (and the chaos gate's assertions) never silently miss a renamed
+//! counter.
 
 /// Every span name library code is allowed to pass to `Telemetry::span`.
 ///
 /// Keep this list in sync with `nessa-lint`'s `REGISTERED_PHASES` (a
 /// cross-check test in `crates/lint/tests` asserts equality).
 pub const REGISTERED_PHASES: &[&str] = &[
-    // One training epoch (parent of the five pipeline steps).
-    "epoch",  // (1) Flash → FPGA candidate streaming.
-    "scan",   // (2) Quantized forward + facility-location kernel on the FPGA.
-    "select", // (3) Subset shipment to the host/GPU.
-    "ship",   // (4) GPU-side training on the weighted subset.
-    "train",  // (5) Quantized-weight feedback to the FPGA.
-    "feedback",
+    // One training epoch (parent of the pipeline steps), then the five
+    // pipeline steps in order: flash → FPGA candidate streaming, the
+    // quantized forward + facility-location kernel, subset shipment to
+    // the host/GPU, GPU-side training on the weighted subset, and the
+    // quantized-weight feedback to the FPGA.
+    "epoch", "scan", "select", "ship", "train", "feedback",
+    // Fault tolerance: `retry` is the backoff wait before re-running a
+    // faulted device phase; `fallback` is a degradation-ladder rung
+    // engaging (host staging / random picks).
+    "retry", "fallback",
+];
+
+/// Every counter name library code is allowed to pass to
+/// `Telemetry::counter`.
+///
+/// Keep this list in sync with `nessa-lint`'s `REGISTERED_COUNTERS` (the
+/// same cross-check test asserts equality).
+pub const REGISTERED_COUNTERS: &[&str] = &[
+    // Heartbeat verdicts past the stall budget.
+    "health.stalls",
+    // Training progress (batches / samples consumed).
+    "train.batches",
+    "train.samples",
+    // Fault-tolerance accounting (see the degradation ladder).
+    "fault.injected",
+    "retry.attempts",
+    "fallback.host",
+    "fallback.random",
+    "drive.evicted",
+    "data.quarantined",
 ];
 
 /// Whether `name` is a registered phase.
 pub fn is_registered(name: &str) -> bool {
     REGISTERED_PHASES.contains(&name)
+}
+
+/// Whether `name` is a registered counter.
+pub fn is_registered_counter(name: &str) -> bool {
+    REGISTERED_COUNTERS.contains(&name)
 }
 
 #[cfg(test)]
@@ -35,17 +69,36 @@ mod tests {
 
     #[test]
     fn pipeline_phases_are_registered() {
-        for name in ["epoch", "scan", "select", "ship", "train", "feedback"] {
+        for name in [
+            "epoch", "scan", "select", "ship", "train", "feedback", "retry", "fallback",
+        ] {
             assert!(is_registered(name), "{name} missing from registry");
         }
         assert!(!is_registered("warmup"));
     }
 
     #[test]
+    fn fault_counters_are_registered() {
+        for name in [
+            "fault.injected",
+            "retry.attempts",
+            "fallback.host",
+            "fallback.random",
+            "drive.evicted",
+            "data.quarantined",
+        ] {
+            assert!(is_registered_counter(name), "{name} missing from registry");
+        }
+        assert!(!is_registered_counter("fault.imagined"));
+    }
+
+    #[test]
     fn registry_has_no_duplicates() {
-        let mut sorted = REGISTERED_PHASES.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), REGISTERED_PHASES.len());
+        for list in [REGISTERED_PHASES, REGISTERED_COUNTERS] {
+            let mut sorted = list.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), list.len());
+        }
     }
 }

@@ -23,7 +23,7 @@ fn main() {
     );
     for drives in [1usize, 2, 4, 8, 16] {
         let mut cluster = SsdCluster::new(drives, SmartSsdConfig::default());
-        let scan = cluster.parallel_scan(records, bytes);
+        let scan = cluster.parallel_scan(records, bytes).expect("fault-free");
         let profile = KernelProfile {
             samples: records,
             forward_macs_per_sample: (512 * spec.classes) as u64,
@@ -33,7 +33,9 @@ fn main() {
             k_per_chunk: 128,
         };
         let select = cluster.parallel_select(&profile).expect("chunk fits");
-        let gather = cluster.gather_selections(subset / drives as u64, bytes);
+        let gather = cluster
+            .gather_selections(subset, bytes)
+            .expect("fault-free");
         println!(
             "  {drives:>2} drives: scan {scan:>6.2}s  select {select:>5.2}s  gather {gather:>5.2}s  total {:>6.2}s  ({:.1} J)",
             cluster.elapsed_secs(),

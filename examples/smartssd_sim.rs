@@ -22,10 +22,12 @@ fn main() {
     );
 
     let mut dev = SmartSsd::new(SmartSsdConfig::default());
-    let read_s = dev.read_records_to_fpga(
-        spec.train_size as u64, // full-scale scan
-        spec.bytes_per_image as u64,
-    );
+    let read_s = dev
+        .read_records_to_fpga(
+            spec.train_size as u64, // full-scale scan
+            spec.bytes_per_image as u64,
+        )
+        .expect("fault-free device");
     let profile = KernelProfile {
         samples: spec.train_size as u64,
         forward_macs_per_sample: 640,
@@ -35,8 +37,12 @@ fn main() {
     };
     let select_s = dev.run_selection(&profile).expect("chunk fits on-chip");
     let subset = (spec.train_size as u64 * 28) / 100;
-    let ship_s = dev.send_subset_to_host(subset, spec.bytes_per_image as u64);
-    let feedback_s = dev.receive_feedback(270_000 / 4);
+    let ship_s = dev
+        .send_subset_to_host(subset, spec.bytes_per_image as u64)
+        .expect("fault-free device");
+    let feedback_s = dev
+        .receive_feedback(270_000 / 4)
+        .expect("fault-free device");
 
     println!("simulated epoch timeline:");
     println!("  flash -> FPGA scan : {read_s:>8.3} s");

@@ -21,7 +21,8 @@ fn encoded_dataset_matches_device_accounting() {
     let rec_len = record::record_len(train.dim(), train.bytes_per_sample()) as u64;
     // Stream exactly the encoded records through the device.
     let mut dev = SmartSsd::new(SmartSsdConfig::default());
-    dev.read_records_to_fpga(train.len() as u64, rec_len);
+    dev.read_records_to_fpga(train.len() as u64, rec_len)
+        .expect("fault-free device");
     assert_eq!(
         dev.traffic().ssd_to_fpga + record::HEADER_LEN as u64,
         encoded.len() as u64,
