@@ -1,7 +1,7 @@
 //! Offline trace analyzer CLI over `nessa-trace`.
 //!
 //! ```text
-//! trace report  <run.jsonl>
+//! trace report  <run.jsonl> [--min-overlap <ratio>]
 //! trace export  <run.jsonl> [--out <path>]
 //! trace summary <run.jsonl> [--out <path>]
 //! trace diff    <baseline> <current> [--max-regress <pct>] [--wall]
@@ -9,7 +9,12 @@
 //! ```
 //!
 //! * **report** prints per-epoch phase breakdowns, critical paths, the
-//!   selection-vs-training overlap ratio, and histogram quantiles.
+//!   selection-vs-training overlap ratio, and histogram quantiles. With
+//!   `--min-overlap <ratio>` it **exits nonzero** when the mean *measured*
+//!   overlap ratio (concurrent span-interval intersection) falls below the
+//!   threshold — the CI gate for overlapped pipelining. Only meaningful
+//!   for traces captured on a multicore host: a single core serializes
+//!   the two sides and measures ≈ 0 no matter how the run was scheduled.
 //! * **export** writes Chrome trace-event JSON (open in `chrome://tracing`
 //!   or <https://ui.perfetto.dev>). Default output: the input path with a
 //!   `.trace.json` extension.
@@ -31,7 +36,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: trace report  <run.jsonl>\n       \
+        "usage: trace report  <run.jsonl> [--min-overlap <ratio>]\n       \
                 trace export  <run.jsonl> [--out <path>]\n       \
                 trace summary <run.jsonl> [--out <path>]\n       \
                 trace diff    <baseline> <current> [--max-regress <pct>] [--wall] [--bench-out <path>]"
@@ -93,6 +98,21 @@ fn main() -> ExitCode {
     let cmd = args.remove(0);
     match cmd.as_str() {
         "report" => {
+            let min_overlap = match take_flag(&mut args, "--min-overlap") {
+                Ok(o) => o,
+                Err(e) => return fail(&e),
+            };
+            let min_overlap = match min_overlap {
+                None => None,
+                Some(raw) => match raw.parse::<f64>() {
+                    Ok(r) if (0.0..=1.0).contains(&r) => Some(r),
+                    _ => {
+                        return fail(&format!(
+                            "--min-overlap expects a ratio in [0, 1], got {raw}"
+                        ))
+                    }
+                },
+            };
             let [input] = args.as_slice() else {
                 return usage();
             };
@@ -100,7 +120,25 @@ fn main() -> ExitCode {
                 Ok(t) => t,
                 Err(e) => return fail(&e.to_string()),
             };
-            print!("{}", TraceReport::from_trace(&trace).render());
+            let report = TraceReport::from_trace(&trace);
+            print!("{}", report.render());
+            if let Some(threshold) = min_overlap {
+                let Some(measured) = report.mean_overlap_ratio() else {
+                    eprintln!(
+                        "trace: --min-overlap {threshold} requested but no epoch has both a \
+                         selection side and a train span to measure"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                if measured < threshold {
+                    eprintln!(
+                        "trace: mean measured overlap ratio {measured:.3} below the \
+                         --min-overlap {threshold} gate"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!("overlap gate: mean measured ratio {measured:.3} >= {threshold} — ok");
+            }
             ExitCode::SUCCESS
         }
         "export" => {

@@ -31,6 +31,11 @@ pub struct NessaConfig {
     pub epochs: usize,
     /// Mini-batch size (paper: 128).
     pub batch_size: usize,
+    /// Base learning rate for the paper's multi-step schedule (paper:
+    /// 0.1; the decay shape — ÷5 at 30 %/60 %/80 % of the run — is
+    /// fixed). Models far from the paper's ResNet scale may need a
+    /// smaller starting point.
+    pub base_lr: f32,
     /// Re-select the subset every this many epochs (1 = every epoch).
     pub select_every: usize,
     /// Quantized-weight feedback (§3.2.1). When off, the selector model
@@ -81,6 +86,17 @@ pub struct NessaConfig {
     /// SmartSSDs in the simulated cluster (1 = the paper's single-drive
     /// setup; more shards the scan/select phases).
     pub drives: usize,
+    /// Overlapped epoch pipelining (paper §3, Figure 3): while the GPU
+    /// trains epoch *e*, the SmartSSD concurrently selects the subset for
+    /// epoch *e + 1* on a worker thread, using quantized-weight feedback
+    /// that is one epoch stale (see [`Self::max_staleness`]). Off by
+    /// default: the sequential loop is the byte-identical reference.
+    pub overlap: bool,
+    /// Maximum feedback staleness (in epochs) an overlapped selection
+    /// round may use. Overlapped rounds run at staleness 1; setting this
+    /// to 0 forces every round back to the synchronous path (fresh
+    /// feedback, no concurrency). Ignored when [`Self::overlap`] is off.
+    pub max_staleness: usize,
     /// Retry policy for failed device operations. Single-wait backoff is
     /// additionally clamped to `stall_budget_secs` at run time.
     pub retry: RetryPolicy,
@@ -102,6 +118,7 @@ impl NessaConfig {
             subset_fraction,
             epochs,
             batch_size: 128,
+            base_lr: 0.1,
             select_every: 1,
             feedback: true,
             subset_biasing: true,
@@ -121,9 +138,37 @@ impl NessaConfig {
             telemetry: TelemetrySettings::off(),
             stall_budget_secs: 30.0,
             drives: 1,
+            overlap: false,
+            max_staleness: 1,
             retry: RetryPolicy::default(),
             fault_plans: Vec::new(),
         }
+    }
+
+    /// Enables or disables overlapped epoch pipelining (selection for the
+    /// next epoch runs concurrently with training; feedback becomes one
+    /// epoch stale).
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
+    }
+
+    /// Sets the maximum feedback staleness (in epochs) overlapped
+    /// selection rounds may use; `0` forces synchronous rounds.
+    pub fn with_max_staleness(mut self, epochs: usize) -> Self {
+        self.max_staleness = epochs;
+        self
+    }
+
+    /// Sets the base learning rate of the multi-step schedule (the decay
+    /// shape is unchanged).
+    pub fn with_base_lr(mut self, base_lr: f32) -> Self {
+        assert!(
+            base_lr > 0.0 && base_lr.is_finite(),
+            "base learning rate must be positive and finite, got {base_lr}"
+        );
+        self.base_lr = base_lr;
+        self
     }
 
     /// Enables or disables the quantized-weight feedback loop.
@@ -238,6 +283,8 @@ mod tests {
         assert_eq!(cfg.biasing_window, 5);
         assert_eq!(cfg.biasing_drop_every, 20);
         assert!(cfg.feedback && cfg.subset_biasing && cfg.partitioning);
+        assert!(!cfg.overlap, "sequential mode is the default");
+        assert_eq!(cfg.max_staleness, 1);
     }
 
     #[test]
@@ -269,9 +316,26 @@ mod tests {
             })
             .with_fault_plan(0, FaultPlan::none().with_read_error(1, 2))
             .with_fault_plan(1, FaultPlan::none().with_dropout_after(3));
+        let cfg = cfg.with_overlap(true).with_max_staleness(2);
+        assert!(cfg.overlap);
+        assert_eq!(cfg.max_staleness, 2);
         assert_eq!(cfg.drives, 2);
         assert_eq!(cfg.retry.max_attempts, 5);
         assert_eq!(cfg.fault_plans.len(), 2);
+    }
+
+    #[test]
+    fn base_lr_defaults_to_paper_and_overrides() {
+        let cfg = NessaConfig::new(0.3, 10);
+        assert_eq!(cfg.base_lr, 0.1, "default must reproduce the paper's lr");
+        let cfg = cfg.with_base_lr(0.02);
+        assert_eq!(cfg.base_lr, 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "base learning rate")]
+    fn rejects_nonpositive_base_lr() {
+        let _ = NessaConfig::new(0.3, 10).with_base_lr(0.0);
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub use error::PipelineError;
 pub use health::{HealthMonitor, HealthStatus};
 pub use pipeline::NessaPipeline;
 pub use policy::{run_policy, Policy};
-pub use report::{EpochRecord, RunReport};
+pub use report::{EpochRecord, OverlapRecord, RunReport};
 pub use retry::{degrade, Degraded, RetryPolicy, Rung};

@@ -7,17 +7,40 @@
 //! staged host read + host-side selection, and if even that is out the
 //! round falls back to seeded random selection. Every rung is surfaced
 //! through the [`HealthMonitor`] fault counters.
+//!
+//! # Overlapped pipelining
+//!
+//! With [`NessaConfig::overlap`] the pipeline runs the paper's
+//! double-buffered schedule: while the GPU trains epoch *e* on subset
+//! S\_e, a worker thread drives the SmartSSD through the selection round
+//! for S\_{e+1} (scan → kernel → ship) using the quantized weights fed
+//! back after epoch *e−1* — one epoch stale (§3.2.1). The two sides
+//! serialize only at the epoch boundary, where the main thread joins the
+//! worker (`overlap.wait`) and broadcasts fresh feedback
+//! (`overlap.handoff`). Epoch 0 selects S\_0 synchronously (the prologue
+//! round); [`NessaConfig::max_staleness`]` == 0` pins every round back to
+//! that synchronous path.
+//!
+//! Determinism is preserved by construction: one RNG stream per epoch's
+//! round is split off the master seed before anything else draws, so the
+//! worker's randomness never races the trainer's, and the device sees
+//! the same op order (round *k* is always the *k*-th scan/select/ship)
+//! regardless of thread scheduling. Simulated time composes as
+//! `sync + max(select_side, train) + handoff` per epoch (recorded in
+//! [`OverlapRecord`]); wall-clock overlap is measured from the real
+//! concurrent span intervals by `nessa-trace`.
 
 use crate::biasing::LossTracker;
 use crate::config::NessaConfig;
 use crate::error::PipelineError;
 use crate::health::HealthMonitor;
 use crate::proxy::gradient_proxies;
-use crate::report::{EpochRecord, RunReport};
+use crate::report::{EpochRecord, OverlapRecord, RunReport};
 use crate::retry::RetryPolicy;
 use crate::sizing::SubsetSizer;
 use crate::trainer::{evaluate, train_epoch_metered, TrainMetrics};
 use nessa_data::Dataset;
+use nessa_nn::cost::{epoch_time, DeviceSpec, LoaderSpec};
 use nessa_nn::models::Network;
 use nessa_nn::optim::{MultiStepLr, Sgd, SgdConfig};
 use nessa_quant::QuantizedModel;
@@ -71,6 +94,298 @@ fn recover<T>(
     }
 }
 
+/// Shared, read-only context one selection round needs besides the
+/// device and the selector network. Everything here is thread-shareable
+/// so the overlapped path can run a round on a worker thread while the
+/// main thread trains.
+struct RoundCtx<'a> {
+    cfg: &'a NessaConfig,
+    retry: &'a RetryPolicy,
+    health: &'a HealthMonitor,
+    telemetry: &'a Telemetry,
+    select_metrics: &'a SelectMetrics,
+    train: &'a Dataset,
+}
+
+/// What one selection round produced: the chosen subset plus the
+/// simulated seconds it charged (kernel vs. I/O split).
+struct RoundOutcome {
+    selection: Selection,
+    select_secs: f64,
+    io_secs: f64,
+}
+
+/// One full selection round for the subset first used at `epoch`:
+/// scan the candidate pool flash → FPGA, quarantine corrupt records,
+/// run the quantized forward + facility-location kernel (with the full
+/// degradation ladder), and ship the subset to the GPU.
+///
+/// The round draws only from `rng`; the caller decides whether that is
+/// the run's master stream (sequential mode) or the epoch's pre-split
+/// stream (overlap mode).
+fn selection_round(
+    ctx: &RoundCtx<'_>,
+    device: &mut SsdCluster,
+    selector: &mut Network,
+    epoch: usize,
+    mut pool: Vec<usize>,
+    fraction: f32,
+    rng: &mut Rng64,
+) -> Result<RoundOutcome, PipelineError> {
+    let cfg = ctx.cfg;
+    let mut select_secs = 0.0;
+    let mut io_secs = 0.0;
+    let record_bytes = ctx.train.bytes_per_sample() as u64;
+    // Set when the P2P/kernel path is out and the pool was staged to the
+    // host instead; selection math then runs host-side and the ship
+    // phase is free.
+    let mut on_host = false;
+    // (1) Stream the candidate pool from flash to the FPGA.
+    let scanned = {
+        let mut scan = ctx
+            .telemetry
+            .span("scan")
+            .with_attr("epoch", epoch)
+            .with_attr("records", pool.len());
+        let r = recover(device, ctx.retry, ctx.health, ctx.telemetry, epoch, |c| {
+            c.parallel_scan(pool.len() as u64, record_bytes)
+        });
+        if let Ok(secs) = &r {
+            scan.add_sim_secs(*secs);
+        }
+        r
+    };
+    match scanned {
+        Ok(secs) => io_secs += secs,
+        Err(_) => {
+            if device.is_empty() {
+                return Err(PipelineError::AllDrivesLost {
+                    evicted: device.evicted(),
+                });
+            }
+            // P2P path out beyond recovery: degrade to the conventional
+            // staged read through the host.
+            on_host = true;
+            ctx.health.note_fallback_host();
+            let mut fb = ctx
+                .telemetry
+                .span("fallback")
+                .with_attr("epoch", epoch)
+                .with_attr("rung", "host");
+            match recover(device, ctx.retry, ctx.health, ctx.telemetry, epoch, |c| {
+                c.conventional_read_to_host(pool.len() as u64, record_bytes)
+            }) {
+                Ok(secs) => {
+                    fb.add_sim_secs(secs);
+                    io_secs += secs;
+                }
+                Err(e) => {
+                    // No path left to the data at all.
+                    return Err(if device.is_empty() {
+                        PipelineError::AllDrivesLost {
+                            evicted: device.evicted(),
+                        }
+                    } else {
+                        e.into()
+                    });
+                }
+            }
+        }
+    }
+    // Corrupt records detected during the scan cannot join the candidate
+    // pool: count them and drop that many (chosen from the round's RNG
+    // stream; the simulation does not track which physical records a
+    // plan corrupted), keeping at least one.
+    let bad = device.take_quarantined();
+    if bad > 0 {
+        ctx.health.note_quarantined(bad);
+        let drop_n = (bad as usize).min(pool.len().saturating_sub(1));
+        if drop_n > 0 {
+            let mut keep = vec![true; pool.len()];
+            for i in rng.sample_indices(pool.len(), drop_n) {
+                keep[i] = false;
+            }
+            pool = pool
+                .iter()
+                .zip(&keep)
+                .filter_map(|(&i, &k)| k.then_some(i))
+                .collect();
+        }
+    }
+    // (2) Quantized forward pass → last-layer gradient proxies
+    // (outer-product space, compared via the factored distance so
+    // nothing of size classes × features is materialized).
+    let mut select_span = ctx
+        .telemetry
+        .span("select")
+        .with_attr("epoch", epoch)
+        .with_attr("pool", pool.len());
+    let proxies = gradient_proxies(selector, ctx.train, &pool, cfg.batch_size);
+    let feature_dim = proxies.features.dim(1);
+    let pool_labels: Vec<usize> = pool.iter().map(|&i| ctx.train.label(i)).collect();
+    let chunk = cfg.partitioning.then(|| cfg.partition_chunk(fraction));
+    let opts = CraigOptions {
+        variant: cfg.greedy,
+        partition_chunk: chunk,
+        threads: cfg.threads,
+        metrics: Some(ctx.select_metrics.clone()),
+    };
+    // Charge the kernel's simulated time.
+    // The kernel compares outer-product gradients through the
+    // ‖a‖²‖b‖² − 2(a·a')(b·b') factorization, so its per-pair cost
+    // scales with classes + feature_dim, not the product.
+    let profile = KernelProfile {
+        samples: pool.len() as u64,
+        forward_macs_per_sample: selector.flops_per_sample() / 2,
+        proxy_dim: ctx.train.classes() + feature_dim,
+        chunk: chunk.unwrap_or_else(|| {
+            // Without partitioning the kernel tiles at the largest class
+            // size.
+            pool_labels
+                .iter()
+                .fold(vec![0usize; ctx.train.classes()], |mut acc, &y| {
+                    acc[y] += 1;
+                    acc
+                })
+                .into_iter()
+                .max()
+                .unwrap_or(1)
+        }),
+        k_per_chunk: cfg.batch_size,
+    };
+    let mut kernel_secs = 0.0;
+    // Set when even the staged host read is out: the pool is still
+    // resident on the FPGA from the scan, so the round degrades to
+    // seeded random picks shipped the normal way.
+    let mut force_random = false;
+    if !on_host {
+        match recover(device, ctx.retry, ctx.health, ctx.telemetry, epoch, |c| {
+            c.parallel_select(&profile)
+        }) {
+            Ok(secs) => kernel_secs = secs,
+            Err(e) => {
+                if device.is_empty() {
+                    return Err(PipelineError::AllDrivesLost {
+                        evicted: device.evicted(),
+                    });
+                }
+                if !e.error.is_transient() {
+                    // A chunk that does not fit is a config problem, not
+                    // a fault to degrade around.
+                    return Err(e.into());
+                }
+                // Kernel path out beyond recovery: stage the pool to the
+                // host and select there.
+                ctx.health.note_fallback_host();
+                let mut fb = ctx
+                    .telemetry
+                    .span("fallback")
+                    .with_attr("epoch", epoch)
+                    .with_attr("rung", "host");
+                match recover(device, ctx.retry, ctx.health, ctx.telemetry, epoch, |c| {
+                    c.conventional_read_to_host(pool.len() as u64, record_bytes)
+                }) {
+                    Ok(secs) => {
+                        on_host = true;
+                        fb.add_sim_secs(secs);
+                        io_secs += secs;
+                    }
+                    Err(_) => {
+                        if device.is_empty() {
+                            return Err(PipelineError::AllDrivesLost {
+                                evicted: device.evicted(),
+                            });
+                        }
+                        force_random = true;
+                    }
+                }
+            }
+        }
+    }
+    // (3) The selection math: facility location when any compute path is
+    // available (device and host produce the same picks — the simulation
+    // models time, not arithmetic), seeded random picks as the last
+    // rung.
+    let maybe = if force_random {
+        None
+    } else {
+        match select_per_class_factored(
+            &proxies.residuals,
+            &proxies.features,
+            &pool_labels,
+            ctx.train.classes(),
+            fraction,
+            &opts,
+            rng,
+        ) {
+            Ok(local) => Some(local),
+            // An internal invariant breach is a selector bug; degrade
+            // the round rather than lose the run.
+            Err(SelectError::Internal(_)) => None,
+            Err(e) => return Err(e.into()),
+        }
+    };
+    let local = match maybe {
+        Some(mut local) => {
+            // Temper the medoid weights (see NessaConfig::weight_temper).
+            for w in &mut local.weights {
+                *w = w.powf(cfg.weight_temper);
+            }
+            local
+        }
+        None => {
+            ctx.health.note_fallback_random();
+            let mut fb = ctx
+                .telemetry
+                .span("fallback")
+                .with_attr("epoch", epoch)
+                .with_attr("rung", "random");
+            let sel =
+                random::select_per_class_checked(&pool_labels, ctx.train.classes(), fraction, rng)?;
+            fb.set_attr("subset", sel.len());
+            sel
+        }
+    };
+    let selection = local.into_global(&pool);
+    select_span.add_sim_secs(kernel_secs);
+    select_span.set_attr("subset", selection.len());
+    select_span.finish();
+    select_secs += kernel_secs;
+    // (4) Ship the subset to the GPU. When the round already staged the
+    // pool to the host, the subset is there — no further transfer.
+    {
+        let mut ship = ctx
+            .telemetry
+            .span("ship")
+            .with_attr("epoch", epoch)
+            .with_attr("records", selection.len());
+        if !on_host {
+            match recover(device, ctx.retry, ctx.health, ctx.telemetry, epoch, |c| {
+                c.gather_selections(selection.len() as u64, record_bytes)
+            }) {
+                Ok(secs) => {
+                    ship.add_sim_secs(secs);
+                    io_secs += secs;
+                }
+                Err(e) => {
+                    return Err(if device.is_empty() {
+                        PipelineError::AllDrivesLost {
+                            evicted: device.evicted(),
+                        }
+                    } else {
+                        e.into()
+                    });
+                }
+            }
+        }
+    }
+    Ok(RoundOutcome {
+        selection,
+        select_secs,
+        io_secs,
+    })
+}
+
 /// The assembled SmartSSD+GPU training loop.
 ///
 /// The pipeline owns the **target model** (trained on the GPU side), the
@@ -85,7 +400,8 @@ fn recover<T>(
 /// subset to the GPU, train, and feed quantized weights back. Subset
 /// biasing prunes the pool every [`NessaConfig::biasing_drop_every`]
 /// epochs; dynamic sizing shrinks the subset fraction when the loss
-/// plateaus.
+/// plateaus. With [`NessaConfig::overlap`] the selection round for the
+/// *next* epoch runs concurrently with training (see the module docs).
 pub struct NessaPipeline {
     config: NessaConfig,
     target: Network,
@@ -94,6 +410,7 @@ pub struct NessaPipeline {
     test: Dataset,
     device: SsdCluster,
     telemetry: Telemetry,
+    history: Vec<(usize, Vec<usize>)>,
 }
 
 impl NessaPipeline {
@@ -143,10 +460,15 @@ impl NessaPipeline {
             test,
             device,
             telemetry,
+            history: Vec::new(),
         }
     }
 
     /// Runs the full training loop and returns the report.
+    ///
+    /// Dispatches to the sequential schedule (the byte-identical
+    /// reference) or the overlapped schedule when
+    /// [`NessaConfig::overlap`] is set.
     ///
     /// # Errors
     ///
@@ -157,11 +479,23 @@ impl NessaPipeline {
     /// could not absorb, and [`PipelineError::AllDrivesLost`] once every
     /// drive has been evicted.
     pub fn run(&mut self) -> Result<RunReport, PipelineError> {
+        self.history.clear();
+        if self.config.overlap {
+            self.run_overlapped()
+        } else {
+            self.run_sequential()
+        }
+    }
+
+    /// The paper's baseline schedule: select, then train, every epoch on
+    /// one thread. This path is the determinism reference — its RNG draw
+    /// order and its report bytes must never change.
+    fn run_sequential(&mut self) -> Result<RunReport, PipelineError> {
         let cfg = self.config.clone();
         let n = self.train.len();
         let mut rng = Rng64::new(cfg.seed);
         let mut opt = Sgd::new(SgdConfig::default());
-        let schedule = MultiStepLr::paper_schedule(cfg.epochs);
+        let schedule = MultiStepLr::paper_schedule(cfg.epochs).with_base_lr(cfg.base_lr);
         let mut tracker = LossTracker::new(
             n,
             cfg.biasing_window,
@@ -198,289 +532,33 @@ impl NessaPipeline {
             let mut select_secs = 0.0;
             let mut io_secs = 0.0;
             if epoch % cfg.select_every == 0 || selection.is_empty() {
-                let mut pool: Vec<usize> = if cfg.subset_biasing {
+                let pool: Vec<usize> = if cfg.subset_biasing {
                     tracker.active_pool().to_vec()
                 } else {
                     (0..n).collect()
                 };
-                let record_bytes = self.train.bytes_per_sample() as u64;
-                // Set when the P2P/kernel path is out and the pool was
-                // staged to the host instead; selection math then runs
-                // host-side and the ship phase is free.
-                let mut on_host = false;
-                // (1) Stream the candidate pool from flash to the FPGA.
-                let scanned = {
-                    let mut scan = self
-                        .telemetry
-                        .span("scan")
-                        .with_attr("epoch", epoch)
-                        .with_attr("records", pool.len());
-                    let r = recover(
-                        &mut self.device,
-                        &retry,
-                        &health,
-                        &self.telemetry,
-                        epoch,
-                        |c| c.parallel_scan(pool.len() as u64, record_bytes),
-                    );
-                    if let Ok(secs) = &r {
-                        scan.add_sim_secs(*secs);
-                    }
-                    r
-                };
-                match scanned {
-                    Ok(secs) => io_secs += secs,
-                    Err(_) => {
-                        if self.device.is_empty() {
-                            return Err(PipelineError::AllDrivesLost {
-                                evicted: self.device.evicted(),
-                            });
-                        }
-                        // P2P path out beyond recovery: degrade to the
-                        // conventional staged read through the host.
-                        on_host = true;
-                        health.note_fallback_host();
-                        let mut fb = self
-                            .telemetry
-                            .span("fallback")
-                            .with_attr("epoch", epoch)
-                            .with_attr("rung", "host");
-                        match recover(
-                            &mut self.device,
-                            &retry,
-                            &health,
-                            &self.telemetry,
-                            epoch,
-                            |c| c.conventional_read_to_host(pool.len() as u64, record_bytes),
-                        ) {
-                            Ok(secs) => {
-                                fb.add_sim_secs(secs);
-                                io_secs += secs;
-                            }
-                            Err(e) => {
-                                // No path left to the data at all.
-                                return Err(if self.device.is_empty() {
-                                    PipelineError::AllDrivesLost {
-                                        evicted: self.device.evicted(),
-                                    }
-                                } else {
-                                    e.into()
-                                });
-                            }
-                        }
-                    }
-                }
-                // Corrupt records detected during the scan cannot join the
-                // candidate pool: count them and drop that many (chosen
-                // from the run seed; the simulation does not track which
-                // physical records a plan corrupted), keeping at least one.
-                let bad = self.device.take_quarantined();
-                if bad > 0 {
-                    health.note_quarantined(bad);
-                    let drop_n = (bad as usize).min(pool.len().saturating_sub(1));
-                    if drop_n > 0 {
-                        let mut keep = vec![true; pool.len()];
-                        for i in rng.sample_indices(pool.len(), drop_n) {
-                            keep[i] = false;
-                        }
-                        pool = pool
-                            .iter()
-                            .zip(&keep)
-                            .filter_map(|(&i, &k)| k.then_some(i))
-                            .collect();
-                    }
-                }
-                // (2) Quantized forward pass → last-layer gradient proxies
-                // (outer-product space, compared via the factored distance
-                // so nothing of size classes × features is materialized).
-                let mut select_span = self
-                    .telemetry
-                    .span("select")
-                    .with_attr("epoch", epoch)
-                    .with_attr("pool", pool.len());
-                let proxies =
-                    gradient_proxies(&mut self.selector, &self.train, &pool, cfg.batch_size);
-                let feature_dim = proxies.features.dim(1);
-                let pool_labels: Vec<usize> = pool.iter().map(|&i| self.train.label(i)).collect();
-                let chunk = cfg.partitioning.then(|| cfg.partition_chunk(fraction));
-                let opts = CraigOptions {
-                    variant: cfg.greedy,
-                    partition_chunk: chunk,
-                    threads: cfg.threads,
-                    metrics: Some(select_metrics.clone()),
-                };
-                // Charge the kernel's simulated time.
-                // The kernel compares outer-product gradients through the
-                // ‖a‖²‖b‖² − 2(a·a')(b·b') factorization, so its per-pair
-                // cost scales with classes + feature_dim, not the product.
-                let profile = KernelProfile {
-                    samples: pool.len() as u64,
-                    forward_macs_per_sample: self.selector.flops_per_sample() / 2,
-                    proxy_dim: self.train.classes() + feature_dim,
-                    chunk: chunk.unwrap_or_else(|| {
-                        // Without partitioning the kernel tiles at the
-                        // largest class size.
-                        pool_labels
-                            .iter()
-                            .fold(vec![0usize; self.train.classes()], |mut acc, &y| {
-                                acc[y] += 1;
-                                acc
-                            })
-                            .into_iter()
-                            .max()
-                            .unwrap_or(1)
-                    }),
-                    k_per_chunk: cfg.batch_size,
-                };
-                let mut kernel_secs = 0.0;
-                // Set when even the staged host read is out: the pool is
-                // still resident on the FPGA from the scan, so the round
-                // degrades to seeded random picks shipped the normal way.
-                let mut force_random = false;
-                if !on_host {
-                    match recover(
-                        &mut self.device,
-                        &retry,
-                        &health,
-                        &self.telemetry,
-                        epoch,
-                        |c| c.parallel_select(&profile),
-                    ) {
-                        Ok(secs) => kernel_secs = secs,
-                        Err(e) => {
-                            if self.device.is_empty() {
-                                return Err(PipelineError::AllDrivesLost {
-                                    evicted: self.device.evicted(),
-                                });
-                            }
-                            if !e.error.is_transient() {
-                                // A chunk that does not fit is a config
-                                // problem, not a fault to degrade around.
-                                return Err(e.into());
-                            }
-                            // Kernel path out beyond recovery: stage the
-                            // pool to the host and select there.
-                            health.note_fallback_host();
-                            let mut fb = self
-                                .telemetry
-                                .span("fallback")
-                                .with_attr("epoch", epoch)
-                                .with_attr("rung", "host");
-                            match recover(
-                                &mut self.device,
-                                &retry,
-                                &health,
-                                &self.telemetry,
-                                epoch,
-                                |c| c.conventional_read_to_host(pool.len() as u64, record_bytes),
-                            ) {
-                                Ok(secs) => {
-                                    on_host = true;
-                                    fb.add_sim_secs(secs);
-                                    io_secs += secs;
-                                }
-                                Err(_) => {
-                                    if self.device.is_empty() {
-                                        return Err(PipelineError::AllDrivesLost {
-                                            evicted: self.device.evicted(),
-                                        });
-                                    }
-                                    force_random = true;
-                                }
-                            }
-                        }
-                    }
-                }
-                // (3) The selection math: facility location when any
-                // compute path is available (device and host produce the
-                // same picks — the simulation models time, not arithmetic),
-                // seeded random picks as the last rung.
-                let maybe = if force_random {
-                    None
-                } else {
-                    match select_per_class_factored(
-                        &proxies.residuals,
-                        &proxies.features,
-                        &pool_labels,
-                        self.train.classes(),
-                        fraction,
-                        &opts,
-                        &mut rng,
-                    ) {
-                        Ok(local) => Some(local),
-                        // An internal invariant breach is a selector bug;
-                        // degrade the round rather than lose the run.
-                        Err(SelectError::Internal(_)) => None,
-                        Err(e) => return Err(e.into()),
-                    }
-                };
-                let local = match maybe {
-                    Some(mut local) => {
-                        // Temper the medoid weights (see
-                        // NessaConfig::weight_temper).
-                        for w in &mut local.weights {
-                            *w = w.powf(cfg.weight_temper);
-                        }
-                        local
-                    }
-                    None => {
-                        health.note_fallback_random();
-                        let mut fb = self
-                            .telemetry
-                            .span("fallback")
-                            .with_attr("epoch", epoch)
-                            .with_attr("rung", "random");
-                        let sel = random::select_per_class_checked(
-                            &pool_labels,
-                            self.train.classes(),
-                            fraction,
-                            &mut rng,
-                        )?;
-                        fb.set_attr("subset", sel.len());
-                        sel
-                    }
-                };
-                selection = local.into_global(&pool);
-                select_span.add_sim_secs(kernel_secs);
-                select_span.set_attr("subset", selection.len());
-                select_span.finish();
-                select_secs += kernel_secs;
-                // (4) Ship the subset to the GPU. When the round already
-                // staged the pool to the host, the subset is there — no
-                // further transfer.
-                {
-                    let mut ship = self
-                        .telemetry
-                        .span("ship")
-                        .with_attr("epoch", epoch)
-                        .with_attr("records", selection.len());
-                    if !on_host {
-                        match recover(
-                            &mut self.device,
-                            &retry,
-                            &health,
-                            &self.telemetry,
-                            epoch,
-                            |c| c.gather_selections(selection.len() as u64, record_bytes),
-                        ) {
-                            Ok(secs) => {
-                                ship.add_sim_secs(secs);
-                                io_secs += secs;
-                            }
-                            Err(e) => {
-                                return Err(if self.device.is_empty() {
-                                    PipelineError::AllDrivesLost {
-                                        evicted: self.device.evicted(),
-                                    }
-                                } else {
-                                    e.into()
-                                });
-                            }
-                        }
-                    }
-                }
+                let out = selection_round(
+                    &RoundCtx {
+                        cfg: &cfg,
+                        retry: &retry,
+                        health: &health,
+                        telemetry: &self.telemetry,
+                        select_metrics: &select_metrics,
+                        train: &self.train,
+                    },
+                    &mut self.device,
+                    &mut self.selector,
+                    epoch,
+                    pool,
+                    fraction,
+                    &mut rng,
+                )?;
+                selection = out.selection;
+                select_secs += out.select_secs;
+                io_secs += out.io_secs;
+                self.history.push((epoch, selection.indices.clone()));
             }
-            // (4) Train the target model on the subset.
+            // Train the target model on the subset.
             let outcome = {
                 let _train_span = self
                     .telemetry
@@ -562,8 +640,310 @@ impl NessaPipeline {
                 test_acc,
                 select_secs,
                 io_secs,
+                overlap: None,
             });
         }
+        self.finish_run(&mut report, &health);
+        Ok(report)
+    }
+
+    /// The overlapped schedule (module docs): epoch 0 selects S_0
+    /// synchronously, then every epoch *e* trains on S_e while a worker
+    /// thread selects S_{e+1} on the device with one-epoch-stale
+    /// feedback, joining at the boundary before the handoff broadcast.
+    fn run_overlapped(&mut self) -> Result<RunReport, PipelineError> {
+        let cfg = self.config.clone();
+        let n = self.train.len();
+        let mut master = Rng64::new(cfg.seed);
+        // Pre-split one selection stream per epoch *before* any other
+        // draw: the worker's randomness is fixed at run start, so the
+        // subsets it picks cannot depend on how the two threads
+        // interleave (or on the trainer's draws from the master).
+        let mut select_streams: Vec<Rng64> = (0..cfg.epochs).map(|_| master.split()).collect();
+        let mut opt = Sgd::new(SgdConfig::default());
+        let schedule = MultiStepLr::paper_schedule(cfg.epochs).with_base_lr(cfg.base_lr);
+        let mut tracker = LossTracker::new(
+            n,
+            cfg.biasing_window,
+            cfg.biasing_drop_every,
+            cfg.biasing_drop_fraction,
+            ((n as f32) * cfg.biasing_min_pool) as usize,
+        );
+        let mut sizer = SubsetSizer::new(
+            cfg.subset_fraction,
+            cfg.sizing_threshold,
+            cfg.sizing_factor,
+            cfg.sizing_min_fraction.min(cfg.subset_fraction),
+        );
+        QuantizedModel::from_network(&mut self.target).apply_to(&mut self.selector);
+        let mut selection = Selection::default();
+        let mut report = RunReport {
+            name: "nessa".into(),
+            train_size: n,
+            ..RunReport::default()
+        };
+        let select_metrics = SelectMetrics::from_telemetry(&self.telemetry);
+        let train_metrics = TrainMetrics::from_telemetry(&self.telemetry);
+        let mut health = HealthMonitor::new(&self.telemetry, cfg.epochs, cfg.stall_budget_secs);
+        health.set_drives_alive(self.device.len());
+        let retry = cfg.retry.bounded_by(cfg.stall_budget_secs);
+        let mut fraction = cfg.subset_fraction;
+        // Forward + backward ≈ 3× the forward cost; feeds the
+        // deterministic GPU-side cost model for the overlap ledger.
+        let train_flops = 3 * self.target.flops_per_sample();
+        let gpu = DeviceSpec::v100();
+        let loader = LoaderSpec::smartssd_p2p();
+        // The round selected concurrently during the previous epoch,
+        // waiting to be consumed.
+        let mut pending: Option<RoundOutcome> = None;
+        // Staleness (in epochs) of the feedback behind the subset
+        // currently in `selection`.
+        let mut cur_staleness = 0usize;
+        for epoch in 0..cfg.epochs {
+            let lr = schedule.lr_at(epoch);
+            let mut epoch_span = self.telemetry.span("epoch").with_attr("epoch", epoch);
+            let mut select_secs = 0.0;
+            let mut io_secs = 0.0;
+            let mut orec = OverlapRecord::default();
+            if epoch % cfg.select_every == 0 || selection.is_empty() {
+                match pending.take() {
+                    // Double-buffered hand-off: the subset was selected
+                    // during the previous epoch (its cost is on that
+                    // epoch's ledger) with feedback one epoch stale.
+                    Some(out) => {
+                        selection = out.selection;
+                        cur_staleness = 1;
+                    }
+                    // Synchronous round: the epoch-0 prologue, and every
+                    // round when max_staleness == 0 forbids pipelining.
+                    None => {
+                        let pool: Vec<usize> = if cfg.subset_biasing {
+                            tracker.active_pool().to_vec()
+                        } else {
+                            (0..n).collect()
+                        };
+                        let out = selection_round(
+                            &RoundCtx {
+                                cfg: &cfg,
+                                retry: &retry,
+                                health: &health,
+                                telemetry: &self.telemetry,
+                                select_metrics: &select_metrics,
+                                train: &self.train,
+                            },
+                            &mut self.device,
+                            &mut self.selector,
+                            epoch,
+                            pool,
+                            fraction,
+                            &mut select_streams[epoch],
+                        )?;
+                        orec.sync_secs = out.select_secs + out.io_secs;
+                        select_secs += out.select_secs;
+                        io_secs += out.io_secs;
+                        selection = out.selection;
+                        cur_staleness = 0;
+                        self.history.push((epoch, selection.indices.clone()));
+                    }
+                }
+            }
+            orec.staleness = cur_staleness;
+            orec.train_secs = epoch_time(
+                &gpu,
+                &loader,
+                selection.len() as u64,
+                train_flops,
+                // The subset is already GPU-resident (the ship phase
+                // carried it); the training loader streams no bytes.
+                0,
+            )
+            .compute_s;
+            let next = epoch + 1;
+            let spawn = cfg.max_staleness >= 1 && next < cfg.epochs && next % cfg.select_every == 0;
+            let outcome;
+            if spawn {
+                // Snapshot the pool and fraction *now* — the state left
+                // by epoch e−1. The concurrent round therefore sees
+                // biasing prunes and sizing updates one epoch stale,
+                // exactly like the weights it selects with.
+                let pool: Vec<usize> = if cfg.subset_biasing {
+                    tracker.active_pool().to_vec()
+                } else {
+                    (0..n).collect()
+                };
+                let frac = fraction;
+                let parent = epoch_span.id();
+                let stream = &mut select_streams[next];
+                let ctx = RoundCtx {
+                    cfg: &cfg,
+                    retry: &retry,
+                    health: &health,
+                    telemetry: &self.telemetry,
+                    select_metrics: &select_metrics,
+                    train: &self.train,
+                };
+                let device = &mut self.device;
+                let selector = &mut self.selector;
+                let target = &mut self.target;
+                let (trained, joined) = std::thread::scope(|s| {
+                    let worker = s.spawn(move || {
+                        // Parent the wrapper to the epoch span explicitly:
+                        // the worker thread has no open spans of its own,
+                        // and the round's scan/select/ship spans then nest
+                        // under this wrapper naturally.
+                        let mut wrap = ctx
+                            .telemetry
+                            .span_child_of("overlap.select", parent)
+                            .with_attr("epoch", epoch)
+                            .with_attr("for_epoch", next);
+                        let r = selection_round(&ctx, device, selector, next, pool, frac, stream);
+                        if let Ok(out) = &r {
+                            wrap.add_sim_secs(out.select_secs + out.io_secs);
+                            wrap.set_attr("subset", out.selection.len());
+                        }
+                        r
+                    });
+                    let trained = {
+                        let _train_span = self
+                            .telemetry
+                            .span("train")
+                            .with_attr("epoch", epoch)
+                            .with_attr("subset", selection.len());
+                        train_epoch_metered(
+                            target,
+                            &mut opt,
+                            &self.train,
+                            &selection.indices,
+                            &selection.weights,
+                            cfg.batch_size,
+                            lr,
+                            &mut master,
+                            Some(&train_metrics),
+                        )
+                    };
+                    let joined = {
+                        let _wait = self
+                            .telemetry
+                            .span("overlap.wait")
+                            .with_attr("epoch", epoch);
+                        worker.join()
+                    };
+                    (trained, joined)
+                });
+                outcome = trained;
+                let round = match joined {
+                    Ok(r) => r,
+                    Err(_) => {
+                        Err(SelectError::Internal("overlapped selection worker panicked").into())
+                    }
+                }?;
+                orec.select_side_secs = round.select_secs + round.io_secs;
+                select_secs += round.select_secs;
+                io_secs += round.io_secs;
+                self.history.push((next, round.selection.indices.clone()));
+                // Device time hidden under concurrent training, on the
+                // simulated clock.
+                self.device
+                    .note_overlap_hidden(orec.select_side_secs.min(orec.train_secs));
+                pending = Some(round);
+            } else {
+                outcome = {
+                    let _train_span = self
+                        .telemetry
+                        .span("train")
+                        .with_attr("epoch", epoch)
+                        .with_attr("subset", selection.len());
+                    train_epoch_metered(
+                        &mut self.target,
+                        &mut opt,
+                        &self.train,
+                        &selection.indices,
+                        &selection.weights,
+                        cfg.batch_size,
+                        lr,
+                        &mut master,
+                        Some(&train_metrics),
+                    )
+                };
+            }
+            // The deterministic hand-off: quantize this epoch's weights,
+            // broadcast to every live drive (the device is idle again —
+            // the worker joined above), refresh the selector for the
+            // round that spawns next epoch.
+            if cfg.feedback {
+                let mut handoff = self
+                    .telemetry
+                    .span("overlap.handoff")
+                    .with_attr("epoch", epoch);
+                let snap = QuantizedModel::from_network(&mut self.target);
+                handoff.set_attr("bytes", snap.payload_bytes());
+                let payload = snap.payload_bytes() as u64;
+                match recover(
+                    &mut self.device,
+                    &retry,
+                    &health,
+                    &self.telemetry,
+                    epoch,
+                    |c| c.broadcast_feedback(payload),
+                ) {
+                    Ok(secs) => {
+                        handoff.add_sim_secs(secs);
+                        io_secs += secs;
+                        orec.handoff_secs = secs;
+                    }
+                    Err(e) => {
+                        return Err(if self.device.is_empty() {
+                            PipelineError::AllDrivesLost {
+                                evicted: self.device.evicted(),
+                            }
+                        } else {
+                            e.into()
+                        });
+                    }
+                }
+                snap.apply_to(&mut self.selector);
+            }
+            if cfg.subset_biasing {
+                tracker.record_epoch(&selection.indices, &outcome.per_sample_losses);
+            }
+            if cfg.dynamic_sizing {
+                fraction = sizer.observe(outcome.mean_loss);
+            }
+            let test_acc = evaluate(&mut self.target, &self.test, cfg.batch_size);
+            // Simulated epoch cost under overlap: the synchronous
+            // prologue, then the slower of the two concurrent sides,
+            // then the serializing hand-off.
+            epoch_span.add_sim_secs(
+                orec.sync_secs + orec.select_side_secs.max(orec.train_secs) + orec.handoff_secs,
+            );
+            epoch_span.set_attr("train_loss", outcome.mean_loss);
+            epoch_span.set_attr("test_acc", test_acc);
+            epoch_span.finish();
+            health.epoch_completed(selection.len());
+            health.check_stall();
+            report.epochs.push(EpochRecord {
+                epoch,
+                lr,
+                subset_size: selection.len(),
+                pool_size: if cfg.subset_biasing {
+                    tracker.active_pool().len()
+                } else {
+                    n
+                },
+                train_loss: outcome.mean_loss,
+                test_acc,
+                select_secs,
+                io_secs,
+                overlap: Some(orec),
+            });
+        }
+        self.finish_run(&mut report, &health);
+        Ok(report)
+    }
+
+    /// Shared run epilogue: traffic/energy roll-ups, fault totals, and
+    /// the device-trace bridge into the unified telemetry stream.
+    fn finish_run(&mut self, report: &mut RunReport, health: &HealthMonitor) {
         report.traffic = self.device.traffic();
         report.device_energy_j = self.device.energy_joules();
         health.note_faults_injected(self.device.faults_injected());
@@ -603,9 +983,13 @@ impl NessaPipeline {
             self.telemetry
                 .gauge("device.sim_secs")
                 .set(report.device_secs());
+            if self.device.hidden_secs() > 0.0 {
+                self.telemetry
+                    .gauge("device.hidden_secs")
+                    .set(self.device.hidden_secs());
+            }
             self.telemetry.flush();
         }
-        Ok(report)
     }
 
     /// The trained target network (for inspection after [`run`]).
@@ -619,6 +1003,17 @@ impl NessaPipeline {
     /// state, per-drive traces).
     pub fn device(&self) -> &SsdCluster {
         &self.device
+    }
+
+    /// Every selection round the last [`run`] performed, in round order:
+    /// `(epoch the subset is first used for, selected global indices)`.
+    /// Epochs that reuse the previous subset (`select_every > 1`) do not
+    /// appear. Lets tests compare overlapped and sequential schedules
+    /// subset-by-subset.
+    ///
+    /// [`run`]: NessaPipeline::run
+    pub fn selection_history(&self) -> &[(usize, Vec<usize>)] {
+        &self.history
     }
 
     /// The run's telemetry stream (disabled unless
@@ -739,6 +1134,100 @@ mod tests {
         let b = small_setup(&cfg).run().unwrap();
         assert_eq!(a.accuracy_curve(), b.accuracy_curve());
         assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn overlapped_run_is_deterministic_and_records_ledger() {
+        let cfg = NessaConfig::new(0.3, 5)
+            .with_batch_size(32)
+            .with_seed(9)
+            .with_overlap(true);
+        let a = small_setup(&cfg).run().unwrap();
+        let b = small_setup(&cfg).run().unwrap();
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        // Epoch 0 is the synchronous prologue; later epochs consume the
+        // double-buffered round.
+        let first = a.epochs[0].overlap.as_ref().unwrap();
+        assert!(first.sync_secs > 0.0, "prologue must be synchronous");
+        assert_eq!(first.staleness, 0);
+        for rec in &a.epochs[1..] {
+            let o = rec.overlap.as_ref().unwrap();
+            assert_eq!(o.staleness, 1, "epoch {}", rec.epoch);
+            assert_eq!(o.sync_secs, 0.0, "epoch {}", rec.epoch);
+        }
+        // Every epoch but the last spawns a concurrent round.
+        for rec in &a.epochs[..a.epochs.len() - 1] {
+            let o = rec.overlap.as_ref().unwrap();
+            assert!(o.select_side_secs > 0.0, "epoch {}", rec.epoch);
+        }
+        assert_eq!(
+            a.epochs
+                .last()
+                .unwrap()
+                .overlap
+                .as_ref()
+                .unwrap()
+                .select_side_secs,
+            0.0,
+            "nothing to select after the final epoch"
+        );
+    }
+
+    #[test]
+    fn zero_staleness_pins_synchronous_rounds() {
+        let cfg = NessaConfig::new(0.3, 4)
+            .with_batch_size(32)
+            .with_seed(11)
+            .with_overlap(true)
+            .with_max_staleness(0);
+        let mut p = small_setup(&cfg);
+        let report = p.run().unwrap();
+        for rec in &report.epochs {
+            let o = rec.overlap.as_ref().unwrap();
+            assert_eq!(o.staleness, 0, "epoch {}", rec.epoch);
+            assert!(o.sync_secs > 0.0, "epoch {}", rec.epoch);
+            assert_eq!(o.select_side_secs, 0.0, "epoch {}", rec.epoch);
+        }
+        assert_eq!(p.device().hidden_secs(), 0.0);
+    }
+
+    #[test]
+    fn overlap_hides_device_seconds() {
+        let cfg = NessaConfig::new(0.3, 5)
+            .with_batch_size(32)
+            .with_seed(12)
+            .with_overlap(true);
+        let mut p = small_setup(&cfg);
+        let report = p.run().unwrap();
+        let hidden = p.device().hidden_secs();
+        assert!(hidden > 0.0, "pipelined rounds must hide device time");
+        assert!(hidden <= p.device().elapsed_secs() + 1e-12);
+        // The hidden portion never exceeds what the rounds cost.
+        let side: f64 = report
+            .epochs
+            .iter()
+            .filter_map(|r| r.overlap.as_ref())
+            .map(|o| o.select_side_secs)
+            .sum();
+        assert!(hidden <= side + 1e-12);
+    }
+
+    #[test]
+    fn selection_history_records_every_round() {
+        let cfg = NessaConfig::new(0.3, 4).with_batch_size(32).with_seed(13);
+        let mut p = small_setup(&cfg);
+        p.run().unwrap();
+        let hist = p.selection_history();
+        assert_eq!(hist.len(), 4);
+        for (i, (epoch, sel)) in hist.iter().enumerate() {
+            assert_eq!(*epoch, i);
+            assert!(!sel.is_empty());
+        }
+        // Overlapped mode covers the same rounds, in the same order.
+        let mut q = small_setup(&cfg.clone().with_overlap(true));
+        q.run().unwrap();
+        let epochs: Vec<usize> = q.selection_history().iter().map(|(e, _)| *e).collect();
+        assert_eq!(epochs, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -16,6 +16,12 @@ use nessa_select::{kcenters, random, Selection};
 use nessa_tensor::rng::Rng64;
 
 /// A training policy from the paper's evaluation.
+///
+/// `Nessa` carries the full [`NessaConfig`] inline; a `Policy` is built
+/// once per run and never stored in bulk, so the size skew between
+/// variants costs nothing in practice and boxing would only add noise
+/// at every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Policy {
     /// "Goal": train on the full dataset.
@@ -173,6 +179,7 @@ fn run_cpu_policy(
             test_acc,
             select_secs: 0.0,
             io_secs: 0.0,
+            overlap: None,
         });
     }
     Ok(report)

@@ -3,6 +3,36 @@
 use nessa_smartssd::TrafficStats;
 use std::fmt;
 
+/// Overlapped-pipelining bookkeeping for one epoch (present only when
+/// [`crate::NessaConfig::overlap`] is on).
+///
+/// Under overlap the epoch's device work (the selection round for the
+/// *next* epoch) runs concurrently with GPU training, so the epoch's cost
+/// is not a sum: it is
+/// `sync_secs + max(select_side_secs, train_secs) + handoff_secs`.
+/// Every field lives on the simulated clock — `train_secs` comes from the
+/// deterministic GPU cost model (`nessa_nn::cost::epoch_time`), never the
+/// host wall clock — so overlapped runs stay byte-reproducible.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OverlapRecord {
+    /// Selection seconds paid synchronously *before* training could start
+    /// (the epoch-0 prologue round, or a round forced synchronous by
+    /// `max_staleness = 0`).
+    pub sync_secs: f64,
+    /// Device seconds of the selection round overlapped with this epoch's
+    /// training (scan + kernel + subset shipment for epoch *e + 1*).
+    pub select_side_secs: f64,
+    /// Deterministic GPU seconds for this epoch's training, from the cost
+    /// model.
+    pub train_secs: f64,
+    /// Hand-off seconds serializing the two sides at the epoch boundary
+    /// (quantized-weight feedback broadcast).
+    pub handoff_secs: f64,
+    /// Feedback age (in epochs) used by the selection round overlapped
+    /// with this epoch: 1 for a pipelined round, 0 for a synchronous one.
+    pub staleness: usize,
+}
+
 /// One epoch's measurements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpochRecord {
@@ -23,12 +53,20 @@ pub struct EpochRecord {
     /// Simulated seconds of data movement this epoch (flash reads, subset
     /// transfer, feedback).
     pub io_secs: f64,
+    /// Overlapped-pipelining bookkeeping; `None` for the sequential loop
+    /// (keeping its JSONL byte-identical to earlier releases).
+    pub overlap: Option<OverlapRecord>,
 }
 
 impl EpochRecord {
-    /// Total simulated device seconds for the epoch (selection + I/O).
+    /// Total simulated seconds for the epoch: selection + I/O for the
+    /// sequential loop, `sync + max(select_side, train) + handoff` when
+    /// the epoch ran overlapped.
     pub fn total_secs(&self) -> f64 {
-        self.select_secs + self.io_secs
+        match &self.overlap {
+            Some(o) => o.sync_secs + o.select_side_secs.max(o.train_secs) + o.handoff_secs,
+            None => self.select_secs + self.io_secs,
+        }
     }
 }
 
@@ -107,20 +145,29 @@ impl RunReport {
         use nessa_telemetry::json::JsonObject;
         let mut out = String::new();
         for e in &self.epochs {
-            out.push_str(
-                &JsonObject::new()
-                    .str_field("type", "epoch")
-                    .u64_field("epoch", e.epoch as u64)
-                    .f64_field("lr", e.lr as f64)
-                    .u64_field("subset_size", e.subset_size as u64)
-                    .u64_field("pool_size", e.pool_size as u64)
-                    .f64_field("train_loss", e.train_loss as f64)
-                    .f64_field("test_acc", e.test_acc as f64)
-                    .f64_field("select_s", e.select_secs)
-                    .f64_field("io_s", e.io_secs)
-                    .f64_field("total_s", e.total_secs())
-                    .finish(),
-            );
+            let mut obj = JsonObject::new()
+                .str_field("type", "epoch")
+                .u64_field("epoch", e.epoch as u64)
+                .f64_field("lr", e.lr as f64)
+                .u64_field("subset_size", e.subset_size as u64)
+                .u64_field("pool_size", e.pool_size as u64)
+                .f64_field("train_loss", e.train_loss as f64)
+                .f64_field("test_acc", e.test_acc as f64)
+                .f64_field("select_s", e.select_secs)
+                .f64_field("io_s", e.io_secs)
+                .f64_field("total_s", e.total_secs());
+            // Overlap fields are appended only when the epoch ran under
+            // the overlapped scheduler, so sequential output stays
+            // byte-identical across releases.
+            if let Some(o) = &e.overlap {
+                obj = obj
+                    .f64_field("sync_s", o.sync_secs)
+                    .f64_field("select_side_s", o.select_side_secs)
+                    .f64_field("train_s", o.train_secs)
+                    .f64_field("handoff_s", o.handoff_secs)
+                    .u64_field("staleness", o.staleness as u64);
+            }
+            out.push_str(&obj.finish());
             out.push('\n');
         }
         out.push_str(
@@ -195,6 +242,7 @@ mod tests {
                     test_acc: 0.4,
                     select_secs: 0.1,
                     io_secs: 0.2,
+                    overlap: None,
                 },
                 EpochRecord {
                     epoch: 1,
@@ -205,6 +253,7 @@ mod tests {
                     test_acc: 0.7,
                     select_secs: 0.1,
                     io_secs: 0.2,
+                    overlap: None,
                 },
             ],
             traffic: TrafficStats::default(),
@@ -269,6 +318,52 @@ mod tests {
         assert_eq!(extract_str_field(run, "name").as_deref(), Some("test"));
         let device_secs = extract_num_field(run, "device_secs").unwrap();
         assert!((device_secs - 0.6).abs() < 1e-12, "{device_secs}");
+    }
+
+    #[test]
+    fn overlapped_epoch_total_is_max_plus_handoff() {
+        let mut r = sample_report();
+        r.epochs[1].overlap = Some(OverlapRecord {
+            sync_secs: 0.05,
+            select_side_secs: 0.3,
+            train_secs: 0.7,
+            handoff_secs: 0.02,
+            staleness: 1,
+        });
+        // Training dominates: total = 0.05 + max(0.3, 0.7) + 0.02.
+        assert!((r.epochs[1].total_secs() - 0.77).abs() < 1e-12);
+        // Selection dominates once it outruns training.
+        r.epochs[1].overlap.as_mut().unwrap().select_side_secs = 0.9;
+        assert!((r.epochs[1].total_secs() - 0.97).abs() < 1e-12);
+        // The sequential epoch is untouched.
+        assert!((r.epochs[0].total_secs() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_overlap_fields_only_when_present() {
+        use nessa_telemetry::extract_num_field;
+        let plain = sample_report().to_jsonl();
+        assert!(
+            !plain.contains("select_side_s"),
+            "sequential lines stay as-is"
+        );
+        let mut r = sample_report();
+        r.epochs[0].overlap = Some(OverlapRecord {
+            sync_secs: 0.0,
+            select_side_secs: 0.25,
+            train_secs: 0.5,
+            handoff_secs: 0.01,
+            staleness: 1,
+        });
+        let jsonl = r.to_jsonl();
+        let first = jsonl.lines().next().unwrap();
+        assert_eq!(extract_num_field(first, "select_side_s"), Some(0.25));
+        assert_eq!(extract_num_field(first, "train_s"), Some(0.5));
+        assert_eq!(extract_num_field(first, "handoff_s"), Some(0.01));
+        assert_eq!(extract_num_field(first, "staleness"), Some(1.0));
+        assert_eq!(extract_num_field(first, "total_s"), Some(0.51));
+        let second = jsonl.lines().nth(1).unwrap();
+        assert!(!second.contains("select_side_s"));
     }
 
     #[test]

@@ -170,6 +170,60 @@ pub fn nessa_epoch(w: &Workload, gpu: &DeviceSpec, fraction: f64) -> PolicyTimin
     }
 }
 
+/// A per-epoch time breakdown for NeSSA's overlapped schedule (§3,
+/// Figure 3): the selection round for the next epoch runs concurrently
+/// with GPU training, so only the slower of the two sides plus the
+/// serializing feedback hand-off lands on the critical path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlappedTiming {
+    /// Seconds the selection side spends off the GPU's back: pool scan,
+    /// FPGA kernel, and subset shipment for the *next* epoch.
+    pub select_side_s: f64,
+    /// Seconds of GPU gradient computation on the current subset.
+    pub train_s: f64,
+    /// Seconds of the quantized-weight feedback broadcast that
+    /// serializes the two sides at the epoch boundary.
+    pub handoff_s: f64,
+}
+
+impl OverlappedTiming {
+    /// Critical-path epoch seconds: `max(select_side, train) + handoff`.
+    pub fn total_s(&self) -> f64 {
+        self.select_side_s.max(self.train_s) + self.handoff_s
+    }
+
+    /// Seconds the overlap hides versus running the sides back to back.
+    pub fn hidden_s(&self) -> f64 {
+        self.select_side_s.min(self.train_s)
+    }
+}
+
+/// Steady-state epoch time for NeSSA with overlapped pipelining at a
+/// subset fraction.
+///
+/// Same device model as [`nessa_epoch`], recomposed: scan + kernel +
+/// ship count as the concurrent selection side, training runs under
+/// them, and only the feedback broadcast serializes. The epoch-0
+/// prologue round (which cannot overlap with anything) is excluded —
+/// this is the per-epoch cost once the pipeline is primed.
+pub fn nessa_overlapped_epoch(w: &Workload, gpu: &DeviceSpec, fraction: f64) -> OverlappedTiming {
+    let seq = nessa_epoch(w, gpu, fraction);
+    // nessa_epoch folds the feedback broadcast into data movement;
+    // recompute it alone so the hand-off can be split out.
+    let mut dev = SmartSsd::new(SmartSsdConfig::default());
+    let params_bytes = (estimate_params(w) / 4).max(1);
+    let handoff_s = dev
+        .receive_feedback(params_bytes)
+        // nessa-lint: allow(p1-panic) — fault-free device, as in
+        // `nessa_epoch`.
+        .expect("fault-free device");
+    OverlappedTiming {
+        select_side_s: (seq.data_move_s - handoff_s).max(0.0) + seq.select_s,
+        train_s: seq.train_s,
+        handoff_s,
+    }
+}
+
 /// Epoch time for CPU CRAIG at a subset fraction: full dataset to the
 /// host, per-class similarity + lazy greedy on proxies, subset training.
 pub fn craig_cpu_epoch(w: &Workload, gpu: &DeviceSpec, fraction: f64) -> PolicyTiming {
@@ -327,6 +381,30 @@ mod tests {
             assert!(w.forward_flops > 1_000_000, "{}", spec.name);
             assert_eq!(w.samples, spec.train_size as u64);
         }
+    }
+
+    #[test]
+    fn overlapped_epoch_beats_sequential_and_composes_as_max() {
+        let gpu = DeviceSpec::v100();
+        let w = cifar();
+        let seq = nessa_epoch(&w, &gpu, 0.3);
+        let ovl = nessa_overlapped_epoch(&w, &gpu, 0.3);
+        // The decomposition covers the same work…
+        assert!(
+            (seq.total_s() - (ovl.select_side_s + ovl.train_s + ovl.handoff_s)).abs()
+                < 1e-9 * seq.total_s(),
+            "overlap sides must repartition the sequential epoch"
+        );
+        // …composed as max + handoff, so the overlapped epoch is
+        // strictly cheaper and hides exactly min(select, train).
+        assert!(
+            (ovl.total_s() - (ovl.select_side_s.max(ovl.train_s) + ovl.handoff_s)).abs() < 1e-12
+        );
+        assert!(ovl.total_s() < seq.total_s());
+        assert!(
+            (seq.total_s() - ovl.total_s() - ovl.hidden_s()).abs() < 1e-9 * seq.total_s(),
+            "savings must equal the hidden side"
+        );
     }
 
     #[test]

@@ -15,7 +15,17 @@ use crate::Violation;
 /// with `nessa_telemetry::phase::REGISTERED_PHASES` (a cross-crate test
 /// asserts the two lists are identical).
 pub const REGISTERED_PHASES: &[&str] = &[
-    "epoch", "scan", "select", "ship", "train", "feedback", "retry", "fallback",
+    "epoch",
+    "scan",
+    "select",
+    "ship",
+    "train",
+    "feedback",
+    "retry",
+    "fallback",
+    "overlap.select",
+    "overlap.wait",
+    "overlap.handoff",
 ];
 
 /// Telemetry counter names that rule **T1** accepts. Kept in lockstep
@@ -340,8 +350,9 @@ fn window_mentions_float(window: &str) -> bool {
 
 fn check_t1(entry: &SourceEntry, sf: &SourceFile, out: &mut Vec<Violation>) {
     // (anchor token, allowed vocabulary, registry named in the message)
-    let vocabularies: [(&str, &[&str], &str); 2] = [
+    let vocabularies: [(&str, &[&str], &str); 3] = [
         (".span(\"", REGISTERED_PHASES, "REGISTERED_PHASES"),
+        (".span_child_of(\"", REGISTERED_PHASES, "REGISTERED_PHASES"),
         (".counter(\"", REGISTERED_COUNTERS, "REGISTERED_COUNTERS"),
     ];
     for (i, masked) in sf.masked.iter().enumerate() {

@@ -48,9 +48,14 @@ impl Param {
 /// Layers are stateful: `forward` caches activations, `backward` must be
 /// called with the gradient of the loss w.r.t. the layer's output *after*
 /// the corresponding `forward`, and returns the gradient w.r.t. the input.
-pub trait Layer {
+pub trait Layer: Send {
     /// Runs the layer on a batch. `train` selects training behaviour
     /// (e.g. batch statistics in batch-norm).
+    ///
+    /// The `Send` supertrait lets a whole [`crate::models::Network`]
+    /// move to a worker thread (layers are plain tensors), which the
+    /// overlapped pipeline relies on to run selection concurrently with
+    /// training.
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
 
     /// Back-propagates `grad_out` (gradient w.r.t. this layer's output),

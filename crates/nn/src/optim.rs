@@ -120,6 +120,14 @@ impl MultiStepLr {
         Self::new(0.1, 0.2, vec![scale(60), scale(120), scale(160)])
     }
 
+    /// Replaces the base learning rate, keeping gamma and milestones
+    /// (models far from the paper's ResNet scale need a different
+    /// starting point on the same decay shape).
+    pub fn with_base_lr(mut self, base_lr: f32) -> Self {
+        self.base_lr = base_lr;
+        self
+    }
+
     /// Learning rate for a (0-based) epoch.
     pub fn lr_at(&self, epoch: usize) -> f32 {
         let passed = self.milestones.iter().filter(|&&m| epoch >= m).count();
@@ -195,6 +203,18 @@ mod tests {
         // Halfway sits near the midpoint.
         let mid = s.lr_at(50);
         assert!((mid - 0.0505).abs() < 0.01, "mid {mid}");
+    }
+
+    #[test]
+    fn with_base_lr_rescales_but_keeps_decay_shape() {
+        let paper = MultiStepLr::paper_schedule(200);
+        let scaled = MultiStepLr::paper_schedule(200).with_base_lr(0.02);
+        assert!((scaled.lr_at(0) - 0.02).abs() < 1e-9);
+        for e in [0, 59, 60, 119, 120, 159, 160, 199] {
+            // Same decay multiplier at every epoch: ratio stays 0.02 / 0.1.
+            let ratio = scaled.lr_at(e) / paper.lr_at(e);
+            assert!((ratio - 0.2).abs() < 1e-6, "epoch {e}: ratio {ratio}");
+        }
     }
 
     #[test]

@@ -153,7 +153,11 @@ struct Inner {
     device_events: Mutex<Vec<DeviceEvent>>,
     metrics: MetricsRegistry,
     next_id: AtomicU64,
-    open_stack: Mutex<Vec<u64>>,
+    // Open spans as (owning thread, span id). Parenting is *per thread*:
+    // a new span nests under the innermost open span of its own thread,
+    // so concurrent spans on different threads (the overlapped pipeline's
+    // selection worker vs. the training thread) never cross-parent.
+    open_stack: Mutex<Vec<(std::thread::ThreadId, u64)>>,
     jsonl: Mutex<Option<BufWriter<fs::File>>>,
     jsonl_path: Option<PathBuf>,
     // Heartbeat for the live health monitor: when the last span closed.
@@ -256,8 +260,23 @@ impl Telemetry {
     /// Opens a span. The returned guard records host wall time until it
     /// is dropped (or [`SpanGuard::finish`]ed); simulated seconds and
     /// attributes are attached via the guard. Spans opened while another
-    /// span from the same stream is open become its children.
+    /// span from the same stream is open **on the same thread** become
+    /// its children; spans on other threads are unaffected (use
+    /// [`Self::span_child_of`] to parent across threads explicitly).
     pub fn span(&self, name: &str) -> SpanGuard {
+        self.open_span(name, None)
+    }
+
+    /// Opens a span explicitly parented to `parent` (a span id from
+    /// [`SpanGuard::id`]) instead of this thread's innermost open span.
+    /// The overlapped pipeline uses this to hang a worker thread's
+    /// selection spans under the main thread's `epoch` span; subsequent
+    /// spans opened on the worker thread nest under it as usual.
+    pub fn span_child_of(&self, name: &str, parent: Option<u64>) -> SpanGuard {
+        self.open_span(name, Some(parent))
+    }
+
+    fn open_span(&self, name: &str, forced_parent: Option<Option<u64>>) -> SpanGuard {
         let Some(inner) = self.inner.as_ref() else {
             return SpanGuard {
                 inner: None,
@@ -266,11 +285,16 @@ impl Telemetry {
             };
         };
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let thread = std::thread::current().id();
         let parent = {
             let mut stack = inner.open_stack.lock().unwrap();
-            let parent = stack.last().copied();
-            stack.push(id);
-            parent
+            let natural = stack
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == thread)
+                .map(|&(_, id)| id);
+            stack.push((thread, id));
+            forced_parent.unwrap_or(natural)
         };
         SpanGuard {
             inner: Some(Arc::clone(inner)),
@@ -409,6 +433,13 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
+    /// This span's id (`None` on a disabled stream) — pass it to
+    /// [`Telemetry::span_child_of`] to parent a span from another thread
+    /// under this one.
+    pub fn id(&self) -> Option<u64> {
+        self.record.as_ref().map(|r| r.id)
+    }
+
     /// Attaches an attribute (builder style).
     pub fn with_attr(mut self, key: &str, value: impl Into<AttrValue>) -> Self {
         self.set_attr(key, value);
@@ -446,7 +477,7 @@ impl Drop for SpanGuard {
         rec.wall_secs = self.start.elapsed().as_secs_f64();
         {
             let mut stack = inner.open_stack.lock().unwrap();
-            if let Some(pos) = stack.iter().rposition(|&id| id == rec.id) {
+            if let Some(pos) = stack.iter().rposition(|&(_, id)| id == rec.id) {
                 stack.remove(pos);
             }
         }
@@ -525,6 +556,57 @@ mod tests {
             let s = spans.iter().find(|s| s.name == name).unwrap();
             assert_eq!(s.parent, Some(root_id), "{name} should nest under root");
         }
+    }
+
+    #[test]
+    fn spans_on_other_threads_do_not_cross_parent() {
+        let t = Telemetry::new(&TelemetrySettings::memory());
+        {
+            let _train = t.span("train");
+            let t2 = t.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    // Opened while `train` is live on the main thread:
+                    // must NOT become its child.
+                    t2.span("worker-root").finish();
+                });
+            });
+        }
+        let spans = t.spans();
+        let worker = spans.iter().find(|s| s.name == "worker-root").unwrap();
+        assert_eq!(worker.parent, None, "no cross-thread auto-parenting");
+    }
+
+    #[test]
+    fn span_child_of_parents_across_threads() {
+        let t = Telemetry::new(&TelemetrySettings::memory());
+        {
+            let epoch = t.span("epoch");
+            let epoch_id = epoch.id();
+            assert!(epoch_id.is_some());
+            let t2 = t.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let wrapper = t2.span_child_of("wrapper", epoch_id);
+                    // Natural nesting continues under the explicit parent
+                    // on the worker thread.
+                    t2.span("inner").finish();
+                    wrapper.finish();
+                });
+                let _train = t.span("train");
+            });
+        }
+        let spans = t.spans();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        let epoch_id = by_name("epoch").id;
+        assert_eq!(by_name("wrapper").parent, Some(epoch_id));
+        assert_eq!(by_name("inner").parent, Some(by_name("wrapper").id));
+        assert_eq!(by_name("train").parent, Some(epoch_id));
+        // Disabled streams hand out no ids and stay inert.
+        let off = Telemetry::disabled();
+        assert_eq!(off.span("x").id(), None);
+        off.span_child_of("y", Some(1)).finish();
+        assert!(off.spans().is_empty());
     }
 
     #[test]

@@ -26,11 +26,25 @@ pub const REGISTERED_PHASES: &[&str] = &[
     // quantized forward + facility-location kernel, subset shipment to
     // the host/GPU, GPU-side training on the weighted subset, and the
     // quantized-weight feedback to the FPGA.
-    "epoch", "scan", "select", "ship", "train", "feedback",
+    "epoch",
+    "scan",
+    "select",
+    "ship",
+    "train",
+    "feedback",
     // Fault tolerance: `retry` is the backoff wait before re-running a
     // faulted device phase; `fallback` is a degradation-ladder rung
     // engaging (host staging / random picks).
-    "retry", "fallback",
+    "retry",
+    "fallback",
+    // Overlapped pipelining (paper §3, Figure 3): `overlap.select` wraps
+    // a selection round running on a worker thread concurrently with
+    // `train`; `overlap.wait` is the main thread joining that worker;
+    // `overlap.handoff` is the deterministic hand-off (quantized-weight
+    // feedback) that serializes the two sides at the epoch boundary.
+    "overlap.select",
+    "overlap.wait",
+    "overlap.handoff",
 ];
 
 /// Every counter name library code is allowed to pass to
@@ -70,11 +84,22 @@ mod tests {
     #[test]
     fn pipeline_phases_are_registered() {
         for name in [
-            "epoch", "scan", "select", "ship", "train", "feedback", "retry", "fallback",
+            "epoch",
+            "scan",
+            "select",
+            "ship",
+            "train",
+            "feedback",
+            "retry",
+            "fallback",
+            "overlap.select",
+            "overlap.wait",
+            "overlap.handoff",
         ] {
             assert!(is_registered(name), "{name} missing from registry");
         }
         assert!(!is_registered("warmup"));
+        assert!(!is_registered("overlap.other"));
     }
 
     #[test]

@@ -38,12 +38,68 @@ pub struct EpochReport {
     /// Span names along the most-expensive descendant chain (dominant
     /// clock, see `SpanRecord::cost_secs`), starting at `epoch`.
     pub critical_path: Vec<String>,
-    /// Simulated device seconds of the selection side (every child
-    /// except `train`) divided by the `train` child's wall seconds.
-    /// NeSSA's premise is that this stays below 1: selection on the
-    /// SmartSSD hides under GPU training time. `None` when the epoch has
-    /// no train span (or it took no measurable time).
+    /// **Measured** selection-vs-training concurrency, from real span
+    /// intervals: the wall-clock intersection of the selection side
+    /// (scan/select/ship/fallback/retry/`overlap.select` spans anywhere
+    /// in the epoch subtree) with the `train` spans, divided by the
+    /// shorter side's union length. 1.0 means the shorter side ran
+    /// entirely under the longer one; a sequential schedule measures
+    /// ≈ 0. `None` when either side is absent or took no measurable
+    /// wall time.
     pub overlap_ratio: Option<f64>,
+    /// The legacy *estimate*: simulated device seconds of the epoch's
+    /// non-`train` children divided by the `train` child's wall seconds
+    /// (how much training time selection *would need to hide under*,
+    /// not how much it actually did). Kept for old baselines and
+    /// capacity planning.
+    pub overlap_ratio_est: Option<f64>,
+}
+
+/// Span names that count as the near-storage selection side when
+/// measuring concurrency against `train` spans.
+const SELECT_SIDE: &[&str] = &[
+    "scan",
+    "select",
+    "ship",
+    "fallback",
+    "retry",
+    "overlap.select",
+];
+
+/// Sorts and merges wall-clock intervals into a disjoint union.
+fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|(s, e)| e > s);
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn union_len(iv: &[(f64, f64)]) -> f64 {
+    iv.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Total overlap between two disjoint, sorted interval unions.
+fn intersection_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut total) = (0, 0, 0.0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
 }
 
 /// The full report over one run's trace.
@@ -95,7 +151,30 @@ impl TraceReport {
                 .iter()
                 .map(|s| s.name.clone())
                 .collect();
-            rep.overlap_ratio = (train_wall > 0.0).then_some(device_sim / train_wall);
+            rep.overlap_ratio_est = (train_wall > 0.0).then_some(device_sim / train_wall);
+            // Measured concurrency: collect wall intervals from the
+            // whole epoch subtree (overlapped rounds nest their
+            // scan/select/ship under an `overlap.select` wrapper, one
+            // level down) and intersect the two sides.
+            let mut select_iv: Vec<(f64, f64)> = Vec::new();
+            let mut train_iv: Vec<(f64, f64)> = Vec::new();
+            let mut stack: Vec<u64> = vec![root.id];
+            while let Some(id) = stack.pop() {
+                for child in trace.tree.children(id) {
+                    stack.push(child.id);
+                    let interval = (child.start_secs, child.start_secs + child.wall_secs);
+                    if child.name == "train" {
+                        train_iv.push(interval);
+                    } else if SELECT_SIDE.contains(&child.name.as_str()) {
+                        select_iv.push(interval);
+                    }
+                }
+            }
+            let select_u = merge_intervals(select_iv);
+            let train_u = merge_intervals(train_iv);
+            let shorter = union_len(&select_u).min(union_len(&train_u));
+            rep.overlap_ratio =
+                (shorter > 0.0).then(|| intersection_len(&select_u, &train_u) / shorter);
             epochs.push(rep);
         }
         epochs.sort_by_key(|e| e.epoch);
@@ -114,10 +193,21 @@ impl TraceReport {
         }
     }
 
-    /// Mean selection-vs-training overlap ratio across epochs that have
-    /// one.
+    /// Mean **measured** selection-vs-training overlap ratio across
+    /// epochs that have one (see [`EpochReport::overlap_ratio`]).
     pub fn mean_overlap_ratio(&self) -> Option<f64> {
         let ratios: Vec<f64> = self.epochs.iter().filter_map(|e| e.overlap_ratio).collect();
+        (!ratios.is_empty()).then(|| ratios.iter().sum::<f64>() / ratios.len() as f64)
+    }
+
+    /// Mean of the legacy sim-vs-wall overlap *estimate* (see
+    /// [`EpochReport::overlap_ratio_est`]).
+    pub fn mean_overlap_ratio_est(&self) -> Option<f64> {
+        let ratios: Vec<f64> = self
+            .epochs
+            .iter()
+            .filter_map(|e| e.overlap_ratio_est)
+            .collect();
         (!ratios.is_empty()).then(|| ratios.iter().sum::<f64>() / ratios.len() as f64)
     }
 
@@ -129,11 +219,15 @@ impl TraceReport {
         for e in &self.epochs {
             let _ = writeln!(
                 out,
-                "    epoch {:<3} wall {:>10.6}s  sim {:>10.6}s  overlap {}",
+                "    epoch {:<3} wall {:>10.6}s  sim {:>10.6}s  overlap {}  (est {})",
                 e.epoch,
                 e.wall_s,
                 e.sim_s,
                 match e.overlap_ratio {
+                    Some(r) => format!("{r:.3}"),
+                    None => "-".into(),
+                },
+                match e.overlap_ratio_est {
                     Some(r) => format!("{r:.3e}"),
                     None => "-".into(),
                 }
@@ -158,7 +252,13 @@ impl TraceReport {
         if let Some(r) = self.mean_overlap_ratio() {
             let _ = writeln!(
                 out,
-                "  mean selection/training overlap ratio: {r:.3e} (<1 = selection hides under training)"
+                "  mean measured overlap ratio: {r:.3} (1 = shorter side fully hidden; sequential ≈ 0)"
+            );
+        }
+        if let Some(r) = self.mean_overlap_ratio_est() {
+            let _ = writeln!(
+                out,
+                "  mean overlap estimate (device sim / train wall): {r:.3e} (<1 = selection could hide under training)"
             );
         }
         if !self.device_phases.is_empty() {
@@ -239,16 +339,84 @@ mod tests {
     }
 
     #[test]
-    fn overlap_ratio_is_device_sim_over_train_wall() {
+    fn overlap_estimate_is_device_sim_over_train_wall() {
         let rep = TraceReport::from_trace(&two_epoch_trace());
         // epoch 0: (0.3 + 0.5 + 0.1) sim vs 0.8 train wall.
-        let r0 = rep.epochs[0].overlap_ratio.unwrap();
+        let r0 = rep.epochs[0].overlap_ratio_est.unwrap();
         assert!((r0 - 0.9 / 0.8).abs() < 1e-12, "{r0}");
         // epoch 1: 0.4 / 1.0.
-        let r1 = rep.epochs[1].overlap_ratio.unwrap();
+        let r1 = rep.epochs[1].overlap_ratio_est.unwrap();
         assert!((r1 - 0.4).abs() < 1e-12, "{r1}");
-        let mean = rep.mean_overlap_ratio().unwrap();
+        let mean = rep.mean_overlap_ratio_est().unwrap();
         assert!((mean - (r0 + r1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_overlap_comes_from_span_intervals() {
+        // All two_epoch_trace spans start at t = 0, so epoch 0's select
+        // side ([0, 0.02]) sits entirely inside train ([0, 0.8]):
+        // measured ratio 1. Epoch 1 has no selection spans at all, so
+        // there is nothing to measure.
+        let rep = TraceReport::from_trace(&two_epoch_trace());
+        let r0 = rep.epochs[0].overlap_ratio.unwrap();
+        assert!((r0 - 1.0).abs() < 1e-12, "{r0}");
+        assert_eq!(rep.epochs[1].overlap_ratio, None);
+        let mean = rep.mean_overlap_ratio().unwrap();
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    fn span_at(id: u64, parent: Option<u64>, name: &str, start: f64, wall: f64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            attrs: vec![("epoch".into(), 0u64.into())],
+            start_secs: start,
+            wall_secs: wall,
+            sim_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn measured_overlap_walks_nested_overlap_rounds() {
+        // An overlapped epoch: the worker's scan/select/ship nest under
+        // an `overlap.select` wrapper while train runs [0.0, 1.0].
+        // Select-side union: wrapper [0.1, 0.9] already covers its
+        // children (dedup via interval union), plus an exposed tail
+        // retry [1.2, 1.4]. Intersection with train = 0.8; shorter side
+        // = select union (0.8 + 0.2 = 1.0) vs train (1.0) → 0.8.
+        let spans = vec![
+            span_at(1, None, "epoch", 0.0, 1.5),
+            span_at(2, Some(1), "train", 0.0, 1.0),
+            span_at(3, Some(1), "overlap.select", 0.1, 0.8),
+            span_at(4, Some(3), "scan", 0.1, 0.3),
+            span_at(5, Some(3), "select", 0.4, 0.3),
+            span_at(6, Some(3), "ship", 0.7, 0.2),
+            span_at(7, Some(1), "retry", 1.2, 0.2),
+            span_at(8, Some(1), "overlap.handoff", 1.0, 0.1),
+        ];
+        let trace = RunTrace {
+            tree: SpanTree::build(spans),
+            ..RunTrace::default()
+        };
+        let rep = TraceReport::from_trace(&trace);
+        let r = rep.epochs[0].overlap_ratio.unwrap();
+        assert!((r - 0.8).abs() < 1e-12, "{r}");
+        // The handoff serializes: it never counts toward either side.
+        // Direct-children phase stats still see the wrapper, not its
+        // children.
+        assert!(rep.epochs[0].phases.contains_key("overlap.select"));
+        assert!(!rep.epochs[0].phases.contains_key("scan"));
+    }
+
+    #[test]
+    fn interval_helpers_merge_and_intersect() {
+        let merged = merge_intervals(vec![(0.0, 1.0), (0.5, 2.0), (3.0, 4.0), (4.0, 4.0)]);
+        assert_eq!(merged, vec![(0.0, 2.0), (3.0, 4.0)]);
+        assert!((union_len(&merged) - 3.0).abs() < 1e-12);
+        let other = merge_intervals(vec![(1.5, 3.5)]);
+        assert!((intersection_len(&merged, &other) - 1.0).abs() < 1e-12);
+        assert_eq!(intersection_len(&merged, &[]), 0.0);
     }
 
     #[test]

@@ -253,6 +253,91 @@ fn acceptance_kernel_failure_plus_drive_dropout() {
     assert_eq!(report.to_jsonl(), again.to_jsonl());
 }
 
+#[test]
+fn kernel_abort_during_overlapped_round_rides_the_ladder() {
+    // Overlap on, permanent kernel failure from kernel op 2 onward. Round
+    // 2 (selecting S_2) is in flight on the worker thread while epoch 1
+    // trains, so the whole retry → host-fallback ladder runs *inside* the
+    // overlapped round. The trained epochs must come out untouched: the
+    // host rung selects with identical math, so the accuracy curve equals
+    // the fault-free overlapped run's.
+    let overlap_cfg = chaos_cfg(EPOCHS).with_overlap(true);
+    let clean = run(&overlap_cfg).0;
+    let cfg = overlap_cfg
+        .clone()
+        .with_fault_plan(0, FaultPlan::none().with_kernel_abort(2, u32::MAX));
+    let (report, p) = run(&cfg);
+
+    // Kernel op indices count rounds in both schedules, so the fault
+    // hits exactly the rounds it would hit sequentially.
+    let failed_rounds = (EPOCHS - 2) as u64;
+    assert_eq!(counter(&p, "fallback.host"), failed_rounds);
+    assert_eq!(counter(&p, "retry.attempts"), 2 * failed_rounds);
+    assert_eq!(counter(&p, "fallback.random"), 0);
+    assert_eq!(counter(&p, "drive.evicted"), 0);
+    assert_eq!(report.epochs.len(), EPOCHS);
+    assert_eq!(report.accuracy_curve(), clean.accuracy_curve());
+    // The ledger still reports a pipelined schedule: the ladder slows
+    // rounds down but never silently de-pipelines them.
+    for rec in &report.epochs {
+        let o = rec.overlap.as_ref().expect("overlap mode records a ledger");
+        assert_eq!(
+            o.staleness,
+            usize::from(rec.epoch > 0),
+            "epoch {}",
+            rec.epoch
+        );
+    }
+}
+
+#[test]
+fn drive_dropout_during_inflight_overlapped_selection_evicts_cleanly() {
+    // Two drives; drive 1 drops off the bus while a worker round is in
+    // flight. The cluster must evict it, re-shard onto the survivor, and
+    // finish the run with the same training outcome as a fault-free
+    // overlapped run — an in-flight eviction may cost simulated time but
+    // never picks or accuracy.
+    let overlap_cfg = chaos_cfg(EPOCHS).with_drives(2).with_overlap(true);
+    let clean = run(&overlap_cfg).0;
+    let cfg = overlap_cfg
+        .clone()
+        .with_fault_plan(1, FaultPlan::none().with_dropout_after(7));
+    let (report, p) = run(&cfg);
+
+    assert_eq!(counter(&p, "drive.evicted"), 1);
+    assert_eq!(p.device().len(), 1);
+    assert_eq!(p.device().evicted(), 1);
+    let shards = p.device().shard_counts(300);
+    assert_eq!(shards.iter().sum::<u64>(), 300);
+    assert_eq!(report.epochs.len(), EPOCHS);
+    assert_eq!(report.accuracy_curve(), clean.accuracy_curve());
+}
+
+#[test]
+fn overlapped_chaos_replays_byte_identical() {
+    // The acceptance scenario (kernel failure on drive 0 + dropout on
+    // drive 1) with the overlapped scheduler on: faults land inside
+    // worker rounds, yet the op-indexed plans and pre-split RNG streams
+    // keep the replay byte-identical — thread interleaving must not leak
+    // into fault timing any more than it leaks into clean runs.
+    let cfg = chaos_cfg(EPOCHS)
+        .with_drives(2)
+        .with_overlap(true)
+        .with_fault_plan(0, FaultPlan::none().with_kernel_abort(3, u32::MAX))
+        .with_fault_plan(1, FaultPlan::none().with_dropout_after(10));
+    let (report, p) = run(&cfg);
+    let again = run(&cfg).0;
+
+    assert_eq!(report.to_jsonl(), again.to_jsonl());
+    assert_eq!(report.epochs.len(), EPOCHS);
+    assert!(
+        counter(&p, "fallback.host") >= 1,
+        "ladder reaches the host rung"
+    );
+    assert_eq!(counter(&p, "drive.evicted"), 1);
+    assert!(counter(&p, "fault.injected") >= 2);
+}
+
 /// Tiny fixture for the property runs: two easy classes, two epochs.
 fn tiny_chaos_jsonl(seed: u64) -> String {
     let spec = FaultSpec {

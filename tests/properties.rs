@@ -1,10 +1,14 @@
 //! Property-based tests (proptest) over the workspace's core invariants.
 
+use nessa::core::{NessaConfig, NessaPipeline};
 use nessa::data::{record, Dataset, SynthConfig};
+use nessa::nn::models::mlp;
 use nessa::quant::QuantizedTensor;
 use nessa::select::facility::{maximize, GreedyVariant, SimilarityMatrix};
 use nessa::select::{fraction_count, kcenters};
 use nessa::smartssd::nand::NandArray;
+use nessa::telemetry::extract_num_field;
+use nessa::tensor::approx::approx_eq_f64;
 use nessa::tensor::linalg::{cross_sq_dists, pairwise_sq_dists};
 use nessa::tensor::rng::Rng64;
 use nessa::tensor::Tensor;
@@ -162,5 +166,96 @@ proptest! {
         let (b, _) = cfg.generate();
         prop_assert_eq!(a.features().as_slice(), b.features().as_slice());
         prop_assert_eq!(a.labels(), b.labels());
+    }
+}
+
+/// A tiny but complete pipeline for the overlap properties below: 90
+/// training samples keep a full overlapped run in the low milliseconds,
+/// so proptest can afford to drive the real thing.
+fn overlap_pipeline(cfg: &NessaConfig) -> NessaPipeline {
+    let synth = SynthConfig {
+        train: 90,
+        test: 30,
+        dim: 6,
+        classes: 3,
+        cluster_std: 0.6,
+        class_sep: 3.0,
+        ..SynthConfig::default()
+    };
+    let (train, test) = synth.generate();
+    let mut rng = Rng64::new(cfg.seed);
+    let target = mlp(&[6, 12, 3], &mut rng);
+    let selector = mlp(&[6, 12, 3], &mut rng);
+    NessaPipeline::new(cfg.clone(), target, selector, train, test)
+}
+
+proptest! {
+    #[test]
+    fn overlap_epoch_total_composes_as_max(seed in any::<u64>(), epochs in 2usize..5) {
+        // The serialized ledger must agree with itself: re-deriving
+        // `total_s` from the JSONL's own `sync_s`/`select_side_s`/
+        // `train_s`/`handoff_s` fields reproduces the critical-path
+        // composition `sync + max(select_side, train) + handoff`.
+        let cfg = NessaConfig::new(0.4, epochs)
+            .with_batch_size(16)
+            .with_seed(seed)
+            .with_overlap(true);
+        let report = overlap_pipeline(&cfg).run().unwrap();
+        let jsonl = report.to_jsonl();
+        for (line, rec) in jsonl.lines().zip(&report.epochs) {
+            let get = |field: &str| extract_num_field(line, field)
+                .unwrap_or_else(|| panic!("epoch line missing {field}: {line}"));
+            let composed = get("sync_s") + get("select_side_s").max(get("train_s")) + get("handoff_s");
+            prop_assert!(approx_eq_f64(get("total_s"), composed, 1e-12),
+                "epoch {}: total_s {} != composed {}", rec.epoch, get("total_s"), composed);
+            prop_assert!(approx_eq_f64(rec.total_secs(), get("total_s"), 1e-12));
+            let o = rec.overlap.as_ref().expect("overlap mode records a ledger");
+            // The hidden device time never exceeds either side.
+            let hidden = o.select_side_secs.min(o.train_secs);
+            prop_assert!(hidden <= o.select_side_secs && hidden <= o.train_secs);
+        }
+    }
+
+    #[test]
+    fn staleness_never_exceeds_the_configured_bound(
+        seed in any::<u64>(),
+        max_staleness in 0usize..3,
+        epochs in 2usize..5
+    ) {
+        let cfg = NessaConfig::new(0.4, epochs)
+            .with_batch_size(16)
+            .with_seed(seed)
+            .with_overlap(true)
+            .with_max_staleness(max_staleness);
+        let report = overlap_pipeline(&cfg).run().unwrap();
+        for rec in &report.epochs {
+            let o = rec.overlap.as_ref().expect("overlap mode records a ledger");
+            prop_assert!(o.staleness <= max_staleness,
+                "epoch {}: staleness {} > bound {}", rec.epoch, o.staleness, max_staleness);
+            // Single-buffer pipelining never lets feedback age past one
+            // epoch regardless of how lax the bound is (§3.2.1).
+            prop_assert!(o.staleness <= 1);
+            if max_staleness == 0 {
+                prop_assert!(o.select_side_secs == 0.0,
+                    "staleness 0 must force every round synchronous");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_independent_of_worker_thread_count(seed in any::<u64>()) {
+        // Per-class RNG streams are pre-split before any class worker
+        // runs, so carving the classes across 1 vs 4 threads must not
+        // change a single pick — or a single byte of the report.
+        let cfg = NessaConfig::new(0.4, 3)
+            .with_batch_size(16)
+            .with_seed(seed)
+            .with_overlap(true);
+        let mut one = overlap_pipeline(&cfg.clone().with_threads(1));
+        let a = one.run().unwrap();
+        let mut four = overlap_pipeline(&cfg.clone().with_threads(4));
+        let b = four.run().unwrap();
+        prop_assert_eq!(one.selection_history(), four.selection_history());
+        prop_assert_eq!(a.to_jsonl(), b.to_jsonl());
     }
 }
